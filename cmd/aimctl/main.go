@@ -1,0 +1,205 @@
+// Command aimctl demonstrates the AIM advisor end to end on a SQL script:
+// it loads schema + data, replays a workload section, prints the workload
+// monitor's view, runs the advisor and prints the recommendation with its
+// metrics-driven explanations, optionally validating through the shadow
+// gate and applying.
+//
+// Script format: plain SQL statements separated by semicolons/newlines.
+// Lines starting with "-- workload" switch from loading to workload replay
+// (statements after it are recorded in the monitor; a trailing integer sets
+// the repeat count, e.g. "-- workload 20").
+//
+// Usage:
+//
+//	aimctl -script setup.sql [-j 2] [-budget 64MiB] [-apply] [-validate]
+//	aimctl -demo                       # built-in demo script
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"aim/internal/core"
+	"aim/internal/engine"
+	"aim/internal/shadow"
+	"aim/internal/workload"
+)
+
+const demoScript = `
+CREATE TABLE users (id INT, city VARCHAR(16), tier INT, signup_day INT, PRIMARY KEY (id));
+CREATE TABLE orders (id INT, user_id INT, status VARCHAR(8), amount FLOAT, day INT, PRIMARY KEY (id));
+-- demo data is generated programmatically below
+-- workload 25
+SELECT id FROM users WHERE city = 'sf' AND tier = 2;
+SELECT o.amount FROM users u JOIN orders o ON o.user_id = u.id WHERE u.city = 'nyc' AND o.status = 'paid';
+SELECT status, COUNT(*) FROM orders WHERE day > 180 GROUP BY status;
+SELECT id FROM orders WHERE day BETWEEN 100 AND 140 ORDER BY day LIMIT 10;
+UPDATE orders SET status = 'done' WHERE id = 42;
+`
+
+func main() {
+	script := flag.String("script", "", "SQL script file (schema + data, then -- workload section)")
+	demo := flag.Bool("demo", false, "run the built-in demo")
+	j := flag.Int("j", 2, "join parameter")
+	budget := flag.String("budget", "", "storage budget, e.g. 64MiB (empty = unlimited)")
+	apply := flag.Bool("apply", false, "materialize the recommendation")
+	validate := flag.Bool("validate", false, "run the shadow no-regression gate before applying")
+	flag.Parse()
+
+	var text string
+	switch {
+	case *demo:
+		text = demoScript
+	case *script != "":
+		b, err := os.ReadFile(*script)
+		if err != nil {
+			fatal(err)
+		}
+		text = string(b)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	db := engine.New("aimctl")
+	mon := workload.NewMonitor()
+	if err := runScript(db, mon, text, *demo); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("observed %d distinct normalized queries, %.4fs total cpu\n",
+		mon.Len(), mon.TotalCPUSeconds())
+	for _, q := range mon.Queries() {
+		fmt.Printf("  %6.4fs cpu  %4d exec  ddr %.3f  %s\n", q.CPUSeconds, q.Executions, q.DDR(), q.Normalized)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.J = *j
+	cfg.Selection.MinExecutions = 1
+	if *budget != "" {
+		n, err := parseSize(*budget)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.BudgetBytes = n
+	}
+	adv := core.NewAdvisor(db, cfg)
+	rec, err := adv.Recommend(mon)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\nAIM: %d partial orders -> %d candidates -> %d selected (%d optimizer calls, %s)\n",
+		rec.PartialOrders, rec.CandidateCount, len(rec.Create), rec.OptimizerCalls, rec.Elapsed.Round(1000000))
+	for _, e := range rec.Explanations {
+		fmt.Printf("  CREATE %s\n    %s\n", e.Index, e.String())
+	}
+	for _, d := range rec.Drop {
+		fmt.Printf("  DROP %s (unused by observed workload)\n", d)
+	}
+	if len(rec.Create) == 0 {
+		return
+	}
+
+	if *validate {
+		report, err := shadow.Validate(db, rec.Create, mon, shadow.DefaultGate())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nshadow validation: %s (gain %.4fs cpu/window)\n", report.Reason, report.TotalGain)
+		for _, o := range report.Outcomes {
+			fmt.Printf("  %+6.1f%%  %s\n", o.Change()*100, o.Normalized)
+		}
+		if !report.Accepted {
+			return
+		}
+	}
+	if *apply {
+		created, err := adv.Apply(rec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\napplied: %s\n", strings.Join(created, ", "))
+	}
+}
+
+// runScript executes the load section and replays the workload section.
+func runScript(db *engine.DB, mon *workload.Monitor, text string, demo bool) error {
+	inWorkload := false
+	repeat := 1
+	for _, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(raw), ";"))
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "--") {
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "--"))
+			if strings.HasPrefix(rest, "workload") {
+				inWorkload = true
+				if n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(rest, "workload"))); err == nil && n > 0 {
+					repeat = n
+				}
+				if demo {
+					loadDemoData(db)
+				}
+			}
+			continue
+		}
+		if !inWorkload {
+			if _, err := db.Exec(line); err != nil {
+				return fmt.Errorf("load: %v (sql: %s)", err, line)
+			}
+			continue
+		}
+		for i := 0; i < repeat; i++ {
+			res, err := db.Exec(line)
+			if err != nil {
+				return fmt.Errorf("workload: %v (sql: %s)", err, line)
+			}
+			if err := mon.Record(line, res.Stats); err != nil {
+				return err
+			}
+		}
+	}
+	db.Analyze()
+	return nil
+}
+
+func loadDemoData(db *engine.DB) {
+	cities := []string{"sf", "nyc", "la", "chi"}
+	statuses := []string{"new", "paid", "done"}
+	for i := 0; i < 500; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO users VALUES (%d, '%s', %d, %d)",
+			i, cities[i%4], i%4, i%365))
+	}
+	for i := 0; i < 5000; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO orders VALUES (%d, %d, '%s', %d.5, %d)",
+			i, (i*7)%500, statuses[i%3], i%400, i%365))
+	}
+	db.Analyze()
+}
+
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	for suffix, m := range map[string]int64{"KiB": 1 << 10, "MiB": 1 << 20, "GiB": 1 << 30, "KB": 1000, "MB": 1000000, "GB": 1000000000} {
+		if strings.HasSuffix(s, suffix) {
+			mult = m
+			s = strings.TrimSuffix(s, suffix)
+			break
+		}
+	}
+	n, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return int64(n * float64(mult)), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "aimctl: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Ecommerce: continuous index tuning under a workload shift. An online shop
+// runs steadily until a "code push" introduces new query patterns; AIM's
+// periodic runs detect the new inefficiencies, the shadow gate validates
+// the fix, and the continuous regression detector watches every window.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"aim/internal/core"
+	"aim/internal/engine"
+	"aim/internal/regression"
+	"aim/internal/shadow"
+	"aim/internal/workload"
+)
+
+func main() {
+	db := engine.New("shop")
+	db.MustExec(`CREATE TABLE products (id INT, category INT, price FLOAT, stock INT, vendor INT, PRIMARY KEY (id))`)
+	db.MustExec(`CREATE TABLE orders (id INT, product_id INT, user_id INT, day INT, qty INT, PRIMARY KEY (id))`)
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 3000; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO products VALUES (%d, %d, %.2f, %d, %d)",
+			i, r.Intn(40), 1+r.Float64()*500, r.Intn(1000), r.Intn(100)))
+	}
+	for i := 0; i < 9000; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO orders VALUES (%d, %d, %d, %d, %d)",
+			i, r.Intn(3000), r.Intn(800), r.Intn(365), 1+r.Intn(5)))
+	}
+	db.Analyze()
+
+	steady := func(r *rand.Rand) string {
+		switch r.Intn(3) {
+		case 0:
+			return fmt.Sprintf("SELECT id, price FROM products WHERE category = %d AND price < %d", r.Intn(40), 50+r.Intn(400))
+		case 1:
+			return fmt.Sprintf("SELECT qty FROM orders WHERE user_id = %d", r.Intn(800))
+		default:
+			return fmt.Sprintf("INSERT INTO orders VALUES (%d, %d, %d, %d, 1)", 100000+r.Intn(1<<28), r.Intn(3000), r.Intn(800), r.Intn(365))
+		}
+	}
+	// The code push adds a vendor dashboard: joins + day ranges.
+	pushed := func(r *rand.Rand) string {
+		if r.Intn(2) == 0 {
+			return fmt.Sprintf(`SELECT p.id, o.qty FROM products p JOIN orders o ON o.product_id = p.id
+				WHERE p.vendor = %d AND o.day > %d`, r.Intn(100), 250+r.Intn(100))
+		}
+		return fmt.Sprintf("SELECT id FROM products WHERE vendor = %d AND stock < %d", r.Intn(100), r.Intn(200))
+	}
+
+	window := func(sample func(*rand.Rand) string, n int) (*workload.Monitor, float64) {
+		mon := workload.NewMonitor()
+		cpu := 0.0
+		for i := 0; i < n; i++ {
+			sql := sample(r)
+			res, err := db.Exec(sql)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mon.Record(sql, res.Stats)
+			cpu += res.Stats.CPUSeconds()
+		}
+		return mon, cpu
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Selection.MinExecutions = 2
+	adv := core.NewAdvisor(db, cfg)
+	detector := regression.NewDetector(0.5)
+
+	tune := func(mon *workload.Monitor, label string) {
+		rec, err := adv.Recommend(mon)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(rec.Create) == 0 && len(rec.Drop) == 0 {
+			fmt.Printf("[%s] AIM: physical design already adequate\n", label)
+			return
+		}
+		report, err := shadow.Validate(db, rec.Create, mon, shadow.DefaultGate())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(rec.Create) > 0 && !report.Accepted {
+			fmt.Printf("[%s] AIM: recommendation rejected by shadow gate (%s)\n", label, report.Reason)
+			return
+		}
+		if _, err := adv.Apply(rec); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%s] AIM applied %d new indexes, dropped %d:\n", label, len(rec.Create), len(rec.Drop))
+		for _, e := range rec.Explanations {
+			fmt.Println("    " + e.String())
+		}
+	}
+
+	// Window 1: steady state, bootstrap tuning.
+	mon, cpu := window(steady, 300)
+	fmt.Printf("[w1] steady workload: %.4fs cpu\n", cpu)
+	tune(mon, "w1")
+	detector.Observe(db, mon)
+
+	// Window 2: tuned steady state.
+	mon, cpu = window(steady, 300)
+	fmt.Printf("[w2] tuned steady state: %.4fs cpu\n", cpu)
+	detector.Observe(db, mon)
+
+	// Window 3: the code push lands — mixed workload, new queries slow.
+	mixed := func(r *rand.Rand) string {
+		if r.Intn(2) == 0 {
+			return steady(r)
+		}
+		return pushed(r)
+	}
+	mon, cpu = window(mixed, 300)
+	fmt.Printf("[w3] after code push: %.4fs cpu (developers forgot their indexes!)\n", cpu)
+	if regs := detector.Observe(db, mon); len(regs) > 0 {
+		for _, reg := range regs {
+			fmt.Println("    regression detector: " + reg.String())
+		}
+	}
+	tune(mon, "w3")
+
+	// Window 4: re-tuned mixed workload.
+	_, cpu = window(mixed, 300)
+	fmt.Printf("[w4] re-tuned: %.4fs cpu\n", cpu)
+}

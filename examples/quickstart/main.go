@@ -1,0 +1,86 @@
+// Quickstart: create a database, run a workload, let AIM recommend indexes,
+// validate them on a shadow clone, apply, and observe the speedup.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aim/internal/core"
+	"aim/internal/engine"
+	"aim/internal/shadow"
+	"aim/internal/workload"
+)
+
+func main() {
+	// 1. A database with a table and some data.
+	db := engine.New("quickstart")
+	db.MustExec(`CREATE TABLE students (id INT, name VARCHAR(24), score INT, class INT, PRIMARY KEY (id))`)
+	for i := 0; i < 5000; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO students VALUES (%d, 'student%d', %d, %d)",
+			i, i, i%1000, i%25))
+	}
+	db.Analyze()
+
+	// 2. Run the workload while the monitor records execution statistics.
+	mon := workload.NewMonitor()
+	queries := []string{
+		"SELECT id, name FROM students WHERE score > 990",
+		"SELECT name FROM students WHERE class = 7 AND score > 500",
+		"SELECT class, COUNT(*), AVG(score) FROM students WHERE score > 900 GROUP BY class",
+	}
+	var beforeCPU float64
+	for round := 0; round < 20; round++ {
+		for _, q := range queries {
+			res, err := db.Exec(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			beforeCPU += res.Stats.CPUSeconds()
+			if err := mon.Record(q, res.Stats); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("before tuning: %.4fs cpu for %d statements\n", beforeCPU, 20*len(queries))
+
+	// 3. Ask AIM for a recommendation.
+	cfg := core.DefaultConfig()
+	cfg.Selection.MinExecutions = 1
+	adv := core.NewAdvisor(db, cfg)
+	rec, err := adv.Recommend(mon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAIM recommends %d indexes (%d optimizer calls in %s):\n",
+		len(rec.Create), rec.OptimizerCalls, rec.Elapsed.Round(1000000))
+	for _, e := range rec.Explanations {
+		fmt.Println("  " + e.String())
+	}
+
+	// 4. Validate on a shadow clone (the no-regression gate), then apply.
+	report, err := shadow.Validate(db, rec.Create, mon, shadow.DefaultGate())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nshadow gate: %s\n", report.Reason)
+	if !report.Accepted {
+		return
+	}
+	if _, err := adv.Apply(rec); err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Re-run the workload and compare.
+	var afterCPU float64
+	for round := 0; round < 20; round++ {
+		for _, q := range queries {
+			res, err := db.Exec(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			afterCPU += res.Stats.CPUSeconds()
+		}
+	}
+	fmt.Printf("\nafter tuning:  %.4fs cpu (%.1fx faster)\n", afterCPU, beforeCPU/afterCPU)
+}

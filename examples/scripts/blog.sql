@@ -1,0 +1,26 @@
+-- A small blogging schema for `aimctl -script examples/scripts/blog.sql`.
+-- Everything before the "-- workload" marker loads schema and data; the
+-- statements after it are replayed (25x each) into the workload monitor.
+-- Note: with only a handful of rows, AIM correctly concludes that no
+-- secondary index pays for itself — declining is the right answer here.
+-- Use `aimctl -demo` for a dataset large enough to earn indexes.
+CREATE TABLE posts (id INT, author_id INT, category VARCHAR(12), published_day INT, views INT, PRIMARY KEY (id));
+CREATE TABLE comments (id INT, post_id INT, user_id INT, day INT, PRIMARY KEY (id));
+INSERT INTO posts VALUES (1, 1, 'go', 100, 250);
+INSERT INTO posts VALUES (2, 1, 'db', 120, 90);
+INSERT INTO posts VALUES (3, 2, 'go', 130, 1200);
+INSERT INTO posts VALUES (4, 3, 'ml', 140, 40);
+INSERT INTO posts VALUES (5, 2, 'db', 160, 770);
+INSERT INTO posts VALUES (6, 4, 'go', 170, 15);
+INSERT INTO posts VALUES (7, 4, 'db', 180, 640);
+INSERT INTO posts VALUES (8, 5, 'ml', 190, 310);
+INSERT INTO comments VALUES (1, 3, 9, 131);
+INSERT INTO comments VALUES (2, 3, 8, 133);
+INSERT INTO comments VALUES (3, 5, 9, 161);
+INSERT INTO comments VALUES (4, 7, 7, 181);
+INSERT INTO comments VALUES (5, 8, 6, 195);
+-- workload 25
+SELECT id, views FROM posts WHERE category = 'go' AND published_day > 120;
+SELECT p.id FROM posts p JOIN comments c ON c.post_id = p.id WHERE c.user_id = 9;
+SELECT category, COUNT(*), SUM(views) FROM posts GROUP BY category;
+UPDATE posts SET views = views + 1 WHERE id = 3;

@@ -1,0 +1,82 @@
+package baselines
+
+import (
+	"time"
+
+	"aim/internal/catalog"
+	"aim/internal/engine"
+	"aim/internal/workload"
+)
+
+// Drop implements Whang's classic reduction heuristic (1987): start from a
+// large candidate configuration (every per-query seed) and repeatedly drop
+// the index whose removal hurts the workload least, until the configuration
+// fits the budget and no drop is free. Starting big makes the approach
+// thorough but expensive — each round costs one what-if workload evaluation
+// per remaining index.
+type Drop struct {
+	MaxWidth int
+}
+
+// Name implements Advisor.
+func (d *Drop) Name() string { return "Drop" }
+
+// Recommend implements Advisor.
+func (d *Drop) Recommend(db *engine.DB, queries []*workload.QueryStats, budgetBytes int64) (*Result, error) {
+	start := time.Now()
+	calls0 := db.Optimizer.Calls()
+	maxWidth := d.MaxWidth
+	if maxWidth <= 0 {
+		maxWidth = 3
+	}
+
+	// Initial configuration: all per-query enumerated candidates.
+	seen := map[string]bool{}
+	var config []*catalog.Index
+	for _, q := range queries {
+		if q.IsDML() {
+			continue
+		}
+		for _, rc := range queryRoleColumns(db, q) {
+			for _, cols := range enumerateCandidates(rc, maxWidth) {
+				ix := mkIndex("drop", rc.table, cols)
+				if !seen[ix.Key()] {
+					seen[ix.Key()] = true
+					config = append(config, ix)
+				}
+			}
+		}
+	}
+
+	cost := WorkloadCost(db, queries, config)
+	for len(config) > 0 {
+		size := totalSize(db, config)
+		overBudget := budgetBytes > 0 && size > budgetBytes
+		bestIdx := -1
+		bestCost := 0.0
+		for i := range config {
+			c := WorkloadCost(db, queries, without(config, i))
+			if bestIdx < 0 || c < bestCost {
+				bestIdx = i
+				bestCost = c
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		// Keep dropping while over budget; under budget, only drop indexes
+		// whose removal does not increase cost (dead weight).
+		if !overBudget && bestCost > cost*(1+1e-9) {
+			break
+		}
+		config = without(config, bestIdx)
+		cost = bestCost
+	}
+
+	return &Result{
+		Indexes:        config,
+		OptimizerCalls: db.Optimizer.Calls() - calls0,
+		Elapsed:        time.Since(start),
+		EstimatedCost:  cost,
+	}, nil
+}

@@ -1,0 +1,334 @@
+// Package btree implements an in-memory B+tree over []byte keys with
+// bytewise ordering. It backs both clustered tables and secondary indexes.
+//
+// Leaves are chained, so range scans are sequential; the tree also exposes
+// page-level accounting (leaf count, height) that the storage layer uses to
+// model I/O cost: a range scan touching k entries across p leaves costs p
+// page reads plus one root-to-leaf descent.
+package btree
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// degree is the maximum number of keys per node. 64 keeps nodes around the
+// size of a small database page for typical key lengths.
+const degree = 64
+
+type leaf struct {
+	keys [][]byte
+	vals []interface{}
+	next *leaf
+	prev *leaf
+}
+
+type inner struct {
+	// keys[i] is the smallest key reachable under children[i+1].
+	keys     [][]byte
+	children []node
+}
+
+type node interface{ isNode() }
+
+func (*leaf) isNode()  {}
+func (*inner) isNode() {}
+
+// Tree is an in-memory B+tree. The zero value is not usable; call New.
+type Tree struct {
+	root   node
+	first  *leaf
+	size   int
+	height int
+	leaves int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	l := &leaf{}
+	return &Tree{root: l, first: l, height: 1, leaves: 1}
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels from root to leaf, used to model the
+// cost of a point lookup (one page read per level).
+func (t *Tree) Height() int { return t.height }
+
+// Leaves returns the number of leaf pages.
+func (t *Tree) Leaves() int { return t.leaves }
+
+// Get returns the value stored under key, if any.
+func (t *Tree) Get(key []byte) (interface{}, bool) {
+	l, _ := t.findLeaf(key)
+	i, ok := l.search(key)
+	if !ok {
+		return nil, false
+	}
+	return l.vals[i], true
+}
+
+// findLeaf descends to the leaf that owns key and returns it with the
+// descent path of inner nodes (root first).
+func (t *Tree) findLeaf(key []byte) (*leaf, []*inner) {
+	var path []*inner
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *leaf:
+			return v, path
+		case *inner:
+			path = append(path, v)
+			n = v.children[v.childIndex(key)]
+		}
+	}
+}
+
+// childIndex returns the index of the child that may contain key.
+func (in *inner) childIndex(key []byte) int {
+	lo, hi := 0, len(in.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(key, in.keys[mid]) < 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// search finds key within the leaf, returning its index and whether it was
+// found; when not found the index is the insertion point.
+func (l *leaf) search(key []byte) (int, bool) {
+	lo, hi := 0, len(l.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(l.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(l.keys) && bytes.Equal(l.keys[lo], key) {
+		return lo, true
+	}
+	return lo, false
+}
+
+// Put inserts or replaces the value under key and reports whether the key
+// was newly inserted.
+func (t *Tree) Put(key []byte, val interface{}) bool {
+	k := append([]byte(nil), key...)
+	l, path := t.findLeaf(k)
+	i, found := l.search(k)
+	if found {
+		l.vals[i] = val
+		return false
+	}
+	l.keys = append(l.keys, nil)
+	copy(l.keys[i+1:], l.keys[i:])
+	l.keys[i] = k
+	l.vals = append(l.vals, nil)
+	copy(l.vals[i+1:], l.vals[i:])
+	l.vals[i] = val
+	t.size++
+	if len(l.keys) > degree {
+		t.splitLeaf(l, path)
+	}
+	return true
+}
+
+func (t *Tree) splitLeaf(l *leaf, path []*inner) {
+	mid := len(l.keys) / 2
+	right := &leaf{
+		keys: append([][]byte(nil), l.keys[mid:]...),
+		vals: append([]interface{}(nil), l.vals[mid:]...),
+		next: l.next,
+		prev: l,
+	}
+	if l.next != nil {
+		l.next.prev = right
+	}
+	l.keys = l.keys[:mid:mid]
+	l.vals = l.vals[:mid:mid]
+	l.next = right
+	t.leaves++
+	t.insertIntoParent(path, l, right.keys[0], right)
+}
+
+func (t *Tree) insertIntoParent(path []*inner, left node, sep []byte, right node) {
+	if len(path) == 0 {
+		t.root = &inner{keys: [][]byte{sep}, children: []node{left, right}}
+		t.height++
+		return
+	}
+	parent := path[len(path)-1]
+	i := parent.childIndex(sep)
+	parent.keys = append(parent.keys, nil)
+	copy(parent.keys[i+1:], parent.keys[i:])
+	parent.keys[i] = sep
+	parent.children = append(parent.children, nil)
+	copy(parent.children[i+2:], parent.children[i+1:])
+	parent.children[i+1] = right
+	if len(parent.keys) > degree {
+		t.splitInner(parent, path[:len(path)-1])
+	}
+}
+
+func (t *Tree) splitInner(in *inner, path []*inner) {
+	mid := len(in.keys) / 2
+	sep := in.keys[mid]
+	right := &inner{
+		keys:     append([][]byte(nil), in.keys[mid+1:]...),
+		children: append([]node(nil), in.children[mid+1:]...),
+	}
+	in.keys = in.keys[:mid:mid]
+	in.children = in.children[: mid+1 : mid+1]
+	t.insertIntoParent(path, in, sep, right)
+}
+
+// Delete removes key and reports whether it was present. Underfull nodes are
+// tolerated (no rebalancing); empty leaves are unlinked lazily during scans.
+// This keeps deletion simple while preserving ordering invariants; the
+// workloads here are insert-dominated.
+func (t *Tree) Delete(key []byte) bool {
+	l, _ := t.findLeaf(key)
+	i, found := l.search(key)
+	if !found {
+		return false
+	}
+	l.keys = append(l.keys[:i], l.keys[i+1:]...)
+	l.vals = append(l.vals[:i], l.vals[i+1:]...)
+	t.size--
+	return true
+}
+
+// Iter is a forward iterator positioned on a sequence of entries.
+type Iter struct {
+	l            *leaf
+	i            int
+	hi           []byte // exclusive upper bound key, nil = unbounded
+	hiInclusive  bool
+	valid        bool
+	leavesWalked int
+}
+
+// Seek returns an iterator positioned at the first entry with key >= from.
+// A nil from starts at the beginning.
+func (t *Tree) Seek(from []byte) *Iter {
+	it := &Iter{}
+	if from == nil {
+		it.l = t.first
+		it.i = -1
+		it.leavesWalked = 1
+		it.advance()
+		return it
+	}
+	l, _ := t.findLeaf(from)
+	i, _ := l.search(from)
+	it.l = l
+	it.i = i - 1
+	it.leavesWalked = 1
+	it.advance()
+	return it
+}
+
+// SeekRange returns an iterator over keys in [from, to). A nil bound is
+// unbounded on that side. toInclusive makes the upper bound inclusive.
+func (t *Tree) SeekRange(from, to []byte, toInclusive bool) *Iter {
+	it := t.Seek(from)
+	it.hi = to
+	it.hiInclusive = toInclusive
+	it.checkBound()
+	return it
+}
+
+func (it *Iter) advance() {
+	it.i++
+	for it.l != nil && it.i >= len(it.l.keys) {
+		it.l = it.l.next
+		it.i = 0
+		if it.l != nil {
+			it.leavesWalked++
+		}
+	}
+	it.valid = it.l != nil
+	it.checkBound()
+}
+
+func (it *Iter) checkBound() {
+	if !it.valid || it.hi == nil {
+		return
+	}
+	c := bytes.Compare(it.l.keys[it.i], it.hi)
+	if c > 0 || (c == 0 && !it.hiInclusive) {
+		it.valid = false
+	}
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iter) Valid() bool { return it.valid }
+
+// Key returns the current key. The slice must not be modified.
+func (it *Iter) Key() []byte { return it.l.keys[it.i] }
+
+// Value returns the current value.
+func (it *Iter) Value() interface{} { return it.l.vals[it.i] }
+
+// Next advances to the next entry.
+func (it *Iter) Next() { it.advance() }
+
+// LeavesWalked returns how many leaf pages the iterator has touched, for
+// I/O accounting.
+func (it *Iter) LeavesWalked() int { return it.leavesWalked }
+
+// Validate checks tree invariants and returns an error describing the first
+// violation. It is used by tests.
+func (t *Tree) Validate() error {
+	var prev []byte
+	count := 0
+	for it := t.Seek(nil); it.Valid(); it.Next() {
+		if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+			return fmt.Errorf("btree: keys out of order: %x >= %x", prev, it.Key())
+		}
+		prev = it.Key()
+		count++
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: size %d but iterated %d", t.size, count)
+	}
+	return t.validateNode(t.root, nil, nil)
+}
+
+func (t *Tree) validateNode(n node, lo, hi []byte) error {
+	switch v := n.(type) {
+	case *leaf:
+		for _, k := range v.keys {
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				return fmt.Errorf("btree: leaf key below lower bound")
+			}
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				return fmt.Errorf("btree: leaf key above upper bound")
+			}
+		}
+	case *inner:
+		if len(v.children) != len(v.keys)+1 {
+			return fmt.Errorf("btree: inner children/keys mismatch")
+		}
+		for i, c := range v.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = v.keys[i-1]
+			}
+			if i < len(v.keys) {
+				chi = v.keys[i]
+			}
+			if err := t.validateNode(c, clo, chi); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

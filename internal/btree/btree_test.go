@@ -1,0 +1,259 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("%08d", i)) }
+
+func TestPutGet(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		if !tr.Put(key(i), i) {
+			t.Fatalf("Put(%d) reported replace", i)
+		}
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || v.(int) != i {
+			t.Fatalf("Get(%d) = %v, %v", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get([]byte("nope")); ok {
+		t.Fatal("Get(nope) found")
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	tr := New()
+	tr.Put(key(1), "a")
+	if tr.Put(key(1), "b") {
+		t.Fatal("replace reported insert")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	v, _ := tr.Get(key(1))
+	if v.(string) != "b" {
+		t.Fatalf("value = %v", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Put(key(i), i)
+	}
+	for i := 0; i < 500; i += 2 {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("Delete(%d) not found", i)
+		}
+	}
+	if tr.Delete(key(0)) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Len() != 250 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 500; i++ {
+		_, ok := tr.Get(key(i))
+		if ok != (i%2 == 1) {
+			t.Fatalf("Get(%d) presence = %v", i, ok)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterFullScan(t *testing.T) {
+	tr := New()
+	n := 5000
+	perm := rand.New(rand.NewSource(3)).Perm(n)
+	for _, i := range perm {
+		tr.Put(key(i), i)
+	}
+	i := 0
+	for it := tr.Seek(nil); it.Valid(); it.Next() {
+		if !bytes.Equal(it.Key(), key(i)) {
+			t.Fatalf("position %d: key %s", i, it.Key())
+		}
+		if it.Value().(int) != i {
+			t.Fatalf("position %d: value %v", i, it.Value())
+		}
+		i++
+	}
+	if i != n {
+		t.Fatalf("scanned %d of %d", i, n)
+	}
+}
+
+func TestSeekRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), i)
+	}
+	var got []int
+	for it := tr.SeekRange(key(10), key(20), false); it.Valid(); it.Next() {
+		got = append(got, it.Value().(int))
+	}
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("exclusive range got %v", got)
+	}
+	got = nil
+	for it := tr.SeekRange(key(10), key(20), true); it.Valid(); it.Next() {
+		got = append(got, it.Value().(int))
+	}
+	if len(got) != 11 || got[10] != 20 {
+		t.Fatalf("inclusive range got %v", got)
+	}
+	// Open lower bound.
+	got = nil
+	for it := tr.SeekRange(nil, key(3), false); it.Valid(); it.Next() {
+		got = append(got, it.Value().(int))
+	}
+	if len(got) != 3 {
+		t.Fatalf("open-low range got %v", got)
+	}
+	// Seek between keys lands on next key.
+	it := tr.Seek([]byte("00000010x"))
+	if !it.Valid() || it.Value().(int) != 11 {
+		t.Fatalf("between-keys seek got %v", it.Value())
+	}
+}
+
+func TestLeavesWalkedAccounting(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10000; i++ {
+		tr.Put(key(i), i)
+	}
+	it := tr.Seek(nil)
+	for ; it.Valid(); it.Next() {
+	}
+	if it.LeavesWalked() < tr.Leaves() {
+		t.Fatalf("full scan walked %d leaves, tree has %d", it.LeavesWalked(), tr.Leaves())
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height = %d, want >= 2 for 10k keys", tr.Height())
+	}
+	// A narrow scan should touch far fewer leaves than the tree has.
+	it2 := tr.SeekRange(key(500), key(510), false)
+	for ; it2.Valid(); it2.Next() {
+	}
+	if it2.LeavesWalked() > 3 {
+		t.Fatalf("narrow scan walked %d leaves", it2.LeavesWalked())
+	}
+}
+
+// TestRandomOpsAgainstMap drives the tree with random operations and checks
+// it always matches a reference map, plus structural invariants.
+func TestRandomOpsAgainstMap(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	tr := New()
+	ref := map[string]int{}
+	for op := 0; op < 20000; op++ {
+		k := key(r.Intn(3000))
+		switch r.Intn(3) {
+		case 0, 1:
+			v := r.Int()
+			tr.Put(k, v)
+			ref[string(k)] = v
+		case 2:
+			got := tr.Delete(k)
+			_, want := ref[string(k)]
+			if got != want {
+				t.Fatalf("Delete(%s) = %v, want %v", k, got, want)
+			}
+			delete(ref, string(k))
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", tr.Len(), len(ref))
+	}
+	keys := make([]string, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	i := 0
+	for it := tr.Seek(nil); it.Valid(); it.Next() {
+		if string(it.Key()) != keys[i] {
+			t.Fatalf("iter position %d: %s want %s", i, it.Key(), keys[i])
+		}
+		if it.Value().(int) != ref[keys[i]] {
+			t.Fatalf("iter value mismatch at %s", keys[i])
+		}
+		i++
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSortedInvariantProperty is a quick-check over random insertion sets.
+func TestSortedInvariantProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%2000) + 1
+		r := rand.New(rand.NewSource(seed))
+		tr := New()
+		for i := 0; i < n; i++ {
+			b := make([]byte, 1+r.Intn(12))
+			r.Read(b)
+			tr.Put(b, i)
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyIsCopied(t *testing.T) {
+	tr := New()
+	k := []byte("abc")
+	tr.Put(k, 1)
+	k[0] = 'z'
+	if _, ok := tr.Get([]byte("abc")); !ok {
+		t.Fatal("tree aliased caller's key buffer")
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New()
+	for i := 0; i < b.N; i++ {
+		tr.Put(key(i), i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100000; i++ {
+		tr.Put(key(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(i % 100000))
+	}
+}
+
+func BenchmarkRangeScan100(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100000; i++ {
+		tr.Put(key(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := (i * 37) % 99900
+		it := tr.SeekRange(key(start), key(start+100), false)
+		for ; it.Valid(); it.Next() {
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"aim/internal/catalog"
+	"aim/internal/engine"
+	"aim/internal/workload"
+)
+
+// Config tunes the AIM advisor.
+type Config struct {
+	// J is the join parameter (§IV-C). The paper reports no incremental
+	// benefit beyond 3 on production workloads; 2 is the sweet spot.
+	J int
+	// BudgetBytes caps the total size of recommended indexes; 0 = no cap.
+	BudgetBytes int64
+	// MaxWidth truncates candidate indexes to this many columns; 0 = no cap.
+	MaxWidth int
+	// EnableCovering turns on the covering-index phase.
+	EnableCovering bool
+	// SeekThreshold is the estimated PK-lookup count at which covering
+	// indexes become worthwhile (high for SSDs, §III-D).
+	SeekThreshold float64
+	// CoveringMinExecutions gates covering candidates to hot queries.
+	CoveringMinExecutions int64
+	// Selection configures representative workload selection.
+	Selection workload.SelectionConfig
+	// Ablation knobs (see DESIGN.md): disable partial-order merging, use
+	// an arbitrary range column instead of the dataless-index probe, or
+	// rank the knapsack by raw utility instead of utility per byte.
+	DisableMerging       bool
+	ArbitraryRangeColumn bool
+	RankByUtilityOnly    bool
+	// ShardCount adjusts the economics for horizontally sharded databases
+	// (§VIII(b)): the observed workload is fleet-aggregated, but every
+	// shard pays the storage and maintenance of every index, so both are
+	// scaled by the shard count. 0/1 = unsharded.
+	ShardCount int
+}
+
+// DefaultConfig mirrors the deployment defaults described in the paper.
+func DefaultConfig() Config {
+	return Config{
+		J:              2,
+		EnableCovering: true,
+		SeekThreshold:  200,
+		Selection:      workload.DefaultSelection(),
+	}
+}
+
+// Advisor is the AIM driver (Algorithm 1).
+type Advisor struct {
+	DB  *engine.DB
+	Cfg Config
+}
+
+// NewAdvisor returns an advisor over the database.
+func NewAdvisor(db *engine.DB, cfg Config) *Advisor {
+	return &Advisor{DB: db, Cfg: cfg}
+}
+
+// Explanation is the metrics-driven justification attached to each
+// recommendation, making machine-driven changes auditable.
+type Explanation struct {
+	Index          *catalog.Index
+	PartialOrder   string
+	GainCPU        float64 // CPU seconds saved per window (Eq. 7 share)
+	MaintenanceCPU float64 // CPU seconds added per window (Eq. 8)
+	SizeBytes      int64
+	Queries        []string // normalized queries that benefit
+}
+
+// String renders a human-readable explanation.
+func (e *Explanation) String() string {
+	return fmt.Sprintf("%s: gain %.4fs cpu/window, maintenance %.4fs, size %d bytes, serves %d queries (from %s)",
+		e.Index, e.GainCPU, e.MaintenanceCPU, e.SizeBytes, len(e.Queries), e.PartialOrder)
+}
+
+// ShrinkProposal narrows an existing index to the prefix the workload
+// actually uses — the "drop (parts of) unused indexes" capability of §I.
+type ShrinkProposal struct {
+	From *catalog.Index
+	To   *catalog.Index
+	// UsedWidth is the widest key prefix any observed plan exploited.
+	UsedWidth int
+}
+
+// Recommendation is the advisor output.
+type Recommendation struct {
+	// Create lists the selected indexes in descending utility-per-byte.
+	Create []*catalog.Index
+	// Drop lists existing secondary indexes unused by the workload.
+	Drop []*catalog.Index
+	// Shrink lists existing indexes whose trailing columns no observed
+	// plan uses; Apply replaces them with their used prefix.
+	Shrink []*ShrinkProposal
+	// Explanations parallel Create.
+	Explanations []*Explanation
+	// Candidates is the full ranked candidate list (selected or not).
+	Candidates []*Candidate
+	// PartialOrders is the merged partial-order pool size, and
+	// CandidateCount the number of linearized candidates considered.
+	PartialOrders  int
+	CandidateCount int
+	// OptimizerCalls incurred by this run, and wall-clock Elapsed.
+	OptimizerCalls int64
+	Elapsed        time.Duration
+}
+
+// TotalCreateBytes sums the estimated size of the recommended indexes.
+func (r *Recommendation) TotalCreateBytes() int64 {
+	var n int64
+	for _, e := range r.Explanations {
+		n += e.SizeBytes
+	}
+	return n
+}
+
+// materializedIndexes returns the schema's real (non-hypothetical) indexes.
+func (a *Advisor) materializedIndexes() []*catalog.Index {
+	var out []*catalog.Index
+	for _, ix := range a.DB.Schema.Indexes() {
+		if !ix.Hypothetical {
+			out = append(out, ix)
+		}
+	}
+	return out
+}
+
+// Recommend runs Algorithm 1 end to end: representative workload selection,
+// candidate generation, partial-order merging, ranking and budgeted
+// selection. Materialization and the no-regression gate live in the shadow
+// package; the returned indexes are hypothetical until created.
+func (a *Advisor) Recommend(mon *workload.Monitor) (*Recommendation, error) {
+	return a.RecommendQueries(mon.Representative(a.Cfg.Selection))
+}
+
+// RecommendQueries runs the advisor on an explicit, pre-selected workload
+// (used by benchmark harnesses that bypass representative selection).
+func (a *Advisor) RecommendQueries(rep []*workload.QueryStats) (*Recommendation, error) {
+	start := time.Now()
+	calls0 := a.DB.Optimizer.Calls()
+
+	gen := &Generator{
+		DB:                    a.DB,
+		J:                     a.Cfg.J,
+		EnableCovering:        a.Cfg.EnableCovering,
+		SeekThreshold:         a.Cfg.SeekThreshold,
+		CoveringMinExecutions: a.Cfg.CoveringMinExecutions,
+		DisableMerging:        a.Cfg.DisableMerging,
+		ArbitraryRangeColumn:  a.Cfg.ArbitraryRangeColumn,
+	}
+	pos := gen.GenerateCandidates(rep)
+
+	// Linearize each partial order into one concrete candidate index,
+	// deduplicating identical column sequences.
+	byKey := map[string]*Candidate{}
+	var cands []*Candidate
+	for _, po := range pos {
+		ix := gen.Linearize(po, a.Cfg.MaxWidth)
+		if ix == nil {
+			continue
+		}
+		if existing, ok := byKey[ix.Key()]; ok {
+			existing.PO.Sources = mergeSources(existing.PO.Sources, po.Sources)
+			continue
+		}
+		c := &Candidate{PO: po, Index: ix, SizeBytes: a.DB.EstimateIndexSize(ix)}
+		byKey[ix.Key()] = c
+		cands = append(cands, c)
+	}
+
+	if err := a.rankCandidates(cands, rep); err != nil {
+		return nil, err
+	}
+	picked := a.knapsackSelect(cands, a.Cfg.BudgetBytes)
+
+	rec := &Recommendation{
+		Candidates:     cands,
+		PartialOrders:  len(pos),
+		CandidateCount: len(cands),
+	}
+	for _, c := range picked {
+		rec.Create = append(rec.Create, c.Index)
+		var queries []string
+		for q := range c.PerQueryGain {
+			queries = append(queries, q)
+		}
+		sort.Strings(queries)
+		rec.Explanations = append(rec.Explanations, &Explanation{
+			Index:          c.Index,
+			PartialOrder:   c.PO.String(),
+			GainCPU:        c.Gain,
+			MaintenanceCPU: c.Maintenance,
+			SizeBytes:      c.SizeBytes,
+			Queries:        queries,
+		})
+	}
+	rec.Drop, rec.Shrink = a.findUnusedIndexes(rep)
+	rec.OptimizerCalls = a.DB.Optimizer.Calls() - calls0
+	rec.Elapsed = time.Since(start)
+	return rec, nil
+}
+
+// findUnusedIndexes returns existing secondary indexes that no workload
+// query's best plan reads, plus shrink proposals for indexes whose trailing
+// key columns no plan exploits (§I: "detect and drop (parts of) unused
+// indexes"). Only tables actually touched by the workload are considered,
+// so an empty or partial observation window never flags unrelated indexes.
+func (a *Advisor) findUnusedIndexes(rep []*workload.QueryStats) ([]*catalog.Index, []*ShrinkProposal) {
+	if len(rep) == 0 {
+		return nil, nil
+	}
+	// usedWidth tracks, per index key, the widest key prefix any plan
+	// bound (equality prefix plus one range/IN column). A covering or
+	// order-providing read may rely on trailing columns without binding
+	// them, so those accesses pin the full width.
+	usedWidth := map[string]int{}
+	touchedTables := map[string]bool{}
+	for _, q := range rep {
+		sel := boundSelect(q)
+		if sel == nil {
+			continue // DML does not vote for keeping read indexes
+		}
+		for _, tr := range sel.Tables {
+			touchedTables[strings.ToLower(tr.Name)] = true
+		}
+		est, err := a.DB.Optimizer.EstimateSelect(sel, nil)
+		if err != nil {
+			continue
+		}
+		for _, u := range est.Used {
+			if u.Index == nil {
+				continue
+			}
+			w := u.EqLen
+			if u.HasRange {
+				w++
+			}
+			if u.Covering || len(sel.OrderBy) > 0 || len(sel.GroupBy) > 0 {
+				// Conservative: covering and ordered/grouped reads may
+				// depend on every key column.
+				w = len(u.Index.Columns)
+			}
+			if w > usedWidth[u.Index.Key()] {
+				usedWidth[u.Index.Key()] = w
+			}
+		}
+	}
+	var drop []*catalog.Index
+	var shrink []*ShrinkProposal
+	for _, ix := range a.materializedIndexes() {
+		if !touchedTables[strings.ToLower(ix.Table)] {
+			continue
+		}
+		w, used := usedWidth[ix.Key()]
+		switch {
+		case !used:
+			drop = append(drop, ix)
+		case w > 0 && w < len(ix.Columns):
+			to := &catalog.Index{
+				Name:      ix.Name + "_shrunk",
+				Table:     ix.Table,
+				Columns:   append([]string(nil), ix.Columns[:w]...),
+				CreatedBy: ix.CreatedBy,
+			}
+			// Never shrink onto an index that already exists.
+			if a.DB.Schema.FindIndexByColumns(to.Table, to.Columns) == nil {
+				shrink = append(shrink, &ShrinkProposal{From: ix, To: to, UsedWidth: w})
+			}
+		}
+	}
+	return drop, shrink
+}
+
+// Apply materializes a recommendation on the database: builds the created
+// indexes (clearing their hypothetical flag) and drops the flagged ones.
+// It returns the names of created indexes.
+func (a *Advisor) Apply(rec *Recommendation) ([]string, error) {
+	var created []string
+	for _, ix := range rec.Create {
+		def := *ix
+		def.Columns = append([]string(nil), ix.Columns...)
+		def.Hypothetical = false
+		if _, err := a.DB.CreateIndex(&def); err != nil {
+			return created, err
+		}
+		created = append(created, def.Name)
+	}
+	for _, ix := range rec.Drop {
+		if _, err := a.DB.DropIndex(ix.Name); err != nil {
+			return created, err
+		}
+	}
+	for _, sp := range rec.Shrink {
+		if _, err := a.DB.DropIndex(sp.From.Name); err != nil {
+			return created, err
+		}
+		if _, err := a.DB.CreateIndex(sp.To); err != nil {
+			return created, err
+		}
+		created = append(created, sp.To.Name)
+	}
+	a.DB.Analyze()
+	return created, nil
+}

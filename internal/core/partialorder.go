@@ -1,0 +1,307 @@
+// Package core implements AIM — the paper's primary contribution: candidate
+// index generation from query structure (Algorithms 2-7), partial-order
+// representation and merging of index candidates (§III-E), utility ranking
+// with write-amplification discounts (§III-F, Eq. 7/8), and the end-to-end
+// Advisor driver (Algorithm 1).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PartialOrder denotes a set of candidate indexes on one table as a strict
+// partial order of columns (§III-A3): an ordered sequence of parts, where
+// columns within a part are unordered and every column in an earlier part
+// precedes every column in a later part.
+//
+//	<{col1, col2}, {col3}> ≡ indexes (col1,col2,col3) and (col2,col1,col3)
+type PartialOrder struct {
+	Table string
+	Parts [][]string // lower-cased, each part sorted, no duplicates
+
+	// Sources records which workload queries this candidate serves, for
+	// benefit attribution after merging.
+	Sources []Source
+}
+
+// Source ties a partial order to one normalized workload query.
+type Source struct {
+	Normalized string
+	Covering   bool
+}
+
+// NewPartialOrder builds a normalized partial order; empty parts are
+// dropped and duplicate columns are removed (first occurrence wins).
+func NewPartialOrder(table string, parts ...[]string) *PartialOrder {
+	po := &PartialOrder{Table: strings.ToLower(table)}
+	seen := map[string]bool{}
+	for _, part := range parts {
+		var clean []string
+		for _, c := range part {
+			lc := strings.ToLower(c)
+			if !seen[lc] {
+				seen[lc] = true
+				clean = append(clean, lc)
+			}
+		}
+		if len(clean) > 0 {
+			sort.Strings(clean)
+			po.Parts = append(po.Parts, clean)
+		}
+	}
+	return po
+}
+
+// Columns returns every column in the order, earliest part first.
+func (po *PartialOrder) Columns() []string {
+	var out []string
+	for _, p := range po.Parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// ColumnSet returns the columns as a set.
+func (po *PartialOrder) ColumnSet() map[string]bool {
+	s := map[string]bool{}
+	for _, p := range po.Parts {
+		for _, c := range p {
+			s[c] = true
+		}
+	}
+	return s
+}
+
+// Width returns the number of columns.
+func (po *PartialOrder) Width() int {
+	n := 0
+	for _, p := range po.Parts {
+		n += len(p)
+	}
+	return n
+}
+
+// partIndex maps column -> part ordinal.
+func (po *PartialOrder) partIndex() map[string]int {
+	m := map[string]int{}
+	for i, p := range po.Parts {
+		for _, c := range p {
+			m[c] = i
+		}
+	}
+	return m
+}
+
+// Precedes reports whether the order requires a before b.
+func (po *PartialOrder) Precedes(a, b string) bool {
+	m := po.partIndex()
+	ia, okA := m[strings.ToLower(a)]
+	ib, okB := m[strings.ToLower(b)]
+	return okA && okB && ia < ib
+}
+
+// Key returns a canonical identity for the order.
+func (po *PartialOrder) Key() string {
+	var b strings.Builder
+	b.WriteString(po.Table)
+	for _, p := range po.Parts {
+		b.WriteString("|")
+		b.WriteString(strings.Join(p, ","))
+	}
+	return b.String()
+}
+
+// String renders the paper's notation, e.g. "<{col2, col3}, {col1}>".
+func (po *PartialOrder) String() string {
+	parts := make([]string, len(po.Parts))
+	for i, p := range po.Parts {
+		parts[i] = "{" + strings.Join(p, ", ") + "}"
+	}
+	return fmt.Sprintf("%s<%s>", po.Table, strings.Join(parts, ", "))
+}
+
+// Satisfies reports whether a total column ordering is a linearization of
+// the partial order (the ordering may have extra trailing columns).
+func (po *PartialOrder) Satisfies(ordering []string) bool {
+	pos := map[string]int{}
+	for i, c := range ordering {
+		pos[strings.ToLower(c)] = i
+	}
+	prevMax := -1
+	for _, part := range po.Parts {
+		lo, hi := 1<<30, -1
+		for _, c := range part {
+			p, ok := pos[c]
+			if !ok {
+				return false
+			}
+			if p < lo {
+				lo = p
+			}
+			if p > hi {
+				hi = p
+			}
+		}
+		if lo <= prevMax {
+			return false
+		}
+		prevMax = hi
+	}
+	return true
+}
+
+// MergeCandidatesPairwise merges two strict partial orders on the same
+// table per §III-E. It requires C_merge: the smaller order's columns are a
+// subset of the larger's, with no conflicting precedence between them; the
+// result is the refinement of P by Q's constraints, followed (ordinal sum)
+// by Q's remaining columns in Q's relative order:
+//
+//	merge(<{c2,c3}>, <{c1,c2,c3}>) = <{c2,c3}, {c1}>
+//
+// Beyond the paper's written condition, the merge also rejects cases where
+// a column outside P would have to precede a column of P under Q — such a
+// merge could not serve Q's query and would corrupt benefit accounting.
+// It returns nil when the orders cannot merge.
+func MergeCandidatesPairwise(a, b *PartialOrder) *PartialOrder {
+	if a.Table != b.Table {
+		return nil
+	}
+	// Identify P ⊆ Q.
+	p, q := a, b
+	if !subset(p.ColumnSet(), q.ColumnSet()) {
+		p, q = b, a
+		if !subset(p.ColumnSet(), q.ColumnSet()) {
+			return nil
+		}
+	}
+	pCols := p.ColumnSet()
+	pIdx, qIdx := p.partIndex(), q.partIndex()
+
+	// No conflicting precedence among P's columns: a ≺_P b ∧ b ≺_Q a.
+	for ca, ia := range pIdx {
+		for cb, ib := range pIdx {
+			if ia < ib && qIdx[cb] < qIdx[ca] {
+				return nil
+			}
+		}
+	}
+	// No column outside P may precede a P column under Q.
+	for cb, ib := range qIdx {
+		if pCols[cb] {
+			continue
+		}
+		for ca := range pCols {
+			if ib < qIdx[ca] {
+				return nil
+			}
+		}
+	}
+
+	// Head: P refined by Q's ordering among P's columns.
+	out := &PartialOrder{Table: p.Table}
+	for _, part := range p.Parts {
+		// Bucket the part's columns by their Q part index.
+		buckets := map[int][]string{}
+		var order []int
+		for _, c := range part {
+			qi := qIdx[c]
+			if _, ok := buckets[qi]; !ok {
+				order = append(order, qi)
+			}
+			buckets[qi] = append(buckets[qi], c)
+		}
+		sort.Ints(order)
+		for _, qi := range order {
+			cols := buckets[qi]
+			sort.Strings(cols)
+			out.Parts = append(out.Parts, cols)
+		}
+	}
+	// Tail: Q's remaining columns in Q's relative order.
+	for _, part := range q.Parts {
+		var rest []string
+		for _, c := range part {
+			if !pCols[c] {
+				rest = append(rest, c)
+			}
+		}
+		if len(rest) > 0 {
+			sort.Strings(rest)
+			out.Parts = append(out.Parts, rest)
+		}
+	}
+	out.Sources = mergeSources(a.Sources, b.Sources)
+	return out
+}
+
+func subset(a, b map[string]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func mergeSources(a, b []Source) []Source {
+	seen := map[string]bool{}
+	var out []Source
+	for _, s := range append(append([]Source(nil), a...), b...) {
+		k := s.Normalized + "|" + fmt.Sprint(s.Covering)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// MergePartialOrders applies MergeCandidatesPairwise to a fixpoint (Eq. 6):
+// new merged orders are added to the pool until no new order appears. The
+// input orders are retained alongside merged ones; callers deduplicate by
+// utility during selection.
+func MergePartialOrders(pos []*PartialOrder) []*PartialOrder {
+	pool := map[string]*PartialOrder{}
+	var order []string
+	add := func(po *PartialOrder) bool {
+		k := po.Key()
+		if existing, ok := pool[k]; ok {
+			merged := mergeSources(existing.Sources, po.Sources)
+			if len(merged) != len(existing.Sources) {
+				existing.Sources = merged
+			}
+			return false
+		}
+		pool[k] = po
+		order = append(order, k)
+		return true
+	}
+	for _, po := range pos {
+		add(po)
+	}
+	// Fixpoint iteration; the pool only grows, so comparing new pairs is
+	// enough. A generous cap guards against pathological inputs.
+	const maxPasses = 12
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		keys := append([]string(nil), order...)
+		for i := 0; i < len(keys); i++ {
+			for j := i + 1; j < len(keys); j++ {
+				m := MergeCandidatesPairwise(pool[keys[i]], pool[keys[j]])
+				if m != nil && add(m) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	out := make([]*PartialOrder, 0, len(order))
+	for _, k := range order {
+		out = append(out, pool[k])
+	}
+	return out
+}

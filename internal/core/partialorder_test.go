@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPartialOrderNormalization(t *testing.T) {
+	po := NewPartialOrder("T1", []string{"B", "a"}, nil, []string{"c", "A"})
+	if po.Table != "t1" {
+		t.Errorf("table = %q", po.Table)
+	}
+	if len(po.Parts) != 2 {
+		t.Fatalf("parts = %v", po.Parts)
+	}
+	if po.Parts[0][0] != "a" || po.Parts[0][1] != "b" {
+		t.Errorf("part 0 = %v", po.Parts[0])
+	}
+	// Duplicate "a" dropped from later part.
+	if len(po.Parts[1]) != 1 || po.Parts[1][0] != "c" {
+		t.Errorf("part 1 = %v", po.Parts[1])
+	}
+	if po.Width() != 3 {
+		t.Errorf("width = %d", po.Width())
+	}
+}
+
+func TestPrecedes(t *testing.T) {
+	po := NewPartialOrder("t", []string{"a", "b"}, []string{"c"})
+	if !po.Precedes("a", "c") || !po.Precedes("b", "c") {
+		t.Error("part order not respected")
+	}
+	if po.Precedes("a", "b") || po.Precedes("c", "a") {
+		t.Error("false precedence")
+	}
+	if po.Precedes("a", "zz") {
+		t.Error("unknown column precedence")
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	// The paper's example: <{col1, col2}, {col3}, {col5, col6, col7}>.
+	po := NewPartialOrder("t",
+		[]string{"col1", "col2"}, []string{"col3"}, []string{"col5", "col6", "col7"})
+	good := [][]string{
+		{"col1", "col2", "col3", "col5", "col6", "col7"},
+		{"col2", "col1", "col3", "col7", "col5", "col6"},
+	}
+	bad := [][]string{
+		{"col3", "col1", "col2", "col5", "col6", "col7"}, // col3 too early
+		{"col1", "col3", "col2", "col5", "col6", "col7"}, // col2 after col3
+		{"col1", "col2", "col3", "col5", "col6"},         // col7 missing
+	}
+	for _, g := range good {
+		if !po.Satisfies(g) {
+			t.Errorf("should satisfy %v", g)
+		}
+	}
+	for _, b := range bad {
+		if po.Satisfies(b) {
+			t.Errorf("should not satisfy %v", b)
+		}
+	}
+	// Extra trailing columns are fine.
+	if !po.Satisfies([]string{"col1", "col2", "col3", "col5", "col6", "col7", "extra"}) {
+		t.Error("trailing extras should be allowed")
+	}
+}
+
+func TestMergePaperExample(t *testing.T) {
+	// merge(<{col1, col2, col3}>, <{col2, col3}>) = <{col2, col3}, {col1}>
+	q := NewPartialOrder("t", []string{"col1", "col2", "col3"})
+	p := NewPartialOrder("t", []string{"col2", "col3"})
+	m := MergeCandidatesPairwise(p, q)
+	if m == nil {
+		t.Fatal("merge failed")
+	}
+	if m.Key() != "t|col2,col3|col1" {
+		t.Fatalf("merged = %s", m)
+	}
+	// Order of arguments must not matter.
+	m2 := MergeCandidatesPairwise(q, p)
+	if m2 == nil || m2.Key() != m.Key() {
+		t.Fatalf("asymmetric merge: %v", m2)
+	}
+}
+
+func TestMergeConflictRejected(t *testing.T) {
+	// P says a before b; Q says b before a.
+	p := NewPartialOrder("t", []string{"a"}, []string{"b"})
+	q := NewPartialOrder("t", []string{"b"}, []string{"a"}, []string{"c"})
+	if m := MergeCandidatesPairwise(p, q); m != nil {
+		t.Fatalf("conflicting merge succeeded: %v", m)
+	}
+}
+
+func TestMergeRejectsOutsideColumnPrecedingP(t *testing.T) {
+	// Q requires c1 before c2; P = {c2}. Prefixing c2 would violate Q.
+	p := NewPartialOrder("t", []string{"c2"})
+	q := NewPartialOrder("t", []string{"c1"}, []string{"c2"})
+	if m := MergeCandidatesPairwise(p, q); m != nil {
+		t.Fatalf("merge should be rejected: %v", m)
+	}
+}
+
+func TestMergeRefinesWithinP(t *testing.T) {
+	// P = <{a, b}>, Q = <{a}, {b}>: result must respect both → <{a}, {b}>.
+	p := NewPartialOrder("t", []string{"a", "b"})
+	q := NewPartialOrder("t", []string{"a"}, []string{"b"})
+	m := MergeCandidatesPairwise(p, q)
+	if m == nil {
+		t.Fatal("merge failed")
+	}
+	if m.Key() != "t|a|b" {
+		t.Fatalf("merged = %s", m)
+	}
+}
+
+func TestMergeDifferentTables(t *testing.T) {
+	p := NewPartialOrder("t1", []string{"a"})
+	q := NewPartialOrder("t2", []string{"a", "b"})
+	if MergeCandidatesPairwise(p, q) != nil {
+		t.Fatal("cross-table merge")
+	}
+}
+
+func TestMergeDisjointColumnsRejected(t *testing.T) {
+	p := NewPartialOrder("t", []string{"a"})
+	q := NewPartialOrder("t", []string{"b"})
+	if MergeCandidatesPairwise(p, q) != nil {
+		t.Fatal("disjoint merge should fail (no subset relation)")
+	}
+}
+
+func TestMergeSourcesUnion(t *testing.T) {
+	p := NewPartialOrder("t", []string{"a"})
+	p.Sources = []Source{{Normalized: "q1"}}
+	q := NewPartialOrder("t", []string{"a", "b"})
+	q.Sources = []Source{{Normalized: "q2"}}
+	m := MergeCandidatesPairwise(p, q)
+	if m == nil || len(m.Sources) != 2 {
+		t.Fatalf("sources = %+v", m)
+	}
+}
+
+func TestMergePartialOrdersFixpoint(t *testing.T) {
+	pos := []*PartialOrder{
+		NewPartialOrder("t", []string{"col1", "col2", "col3"}),
+		NewPartialOrder("t", []string{"col2", "col3"}),
+		NewPartialOrder("t", []string{"col2"}),
+	}
+	out := MergePartialOrders(pos)
+	keys := map[string]bool{}
+	for _, po := range out {
+		keys[po.Key()] = true
+	}
+	// Originals retained.
+	for _, po := range pos {
+		if !keys[po.Key()] {
+			t.Errorf("original %s lost", po)
+		}
+	}
+	// First-level merges.
+	for _, want := range []string{
+		"t|col2,col3|col1", // merge of first two
+		"t|col2|col3",      // merge of {col2} into {col2,col3}
+		"t|col2|col3|col1", // second-level merge
+	} {
+		if !keys[want] {
+			t.Errorf("missing merged order %q (have %v)", want, keys)
+		}
+	}
+}
+
+// TestMergeResultIsValidProperty: any merge result must be satisfied by
+// every linearization that extends it, and must preserve both inputs'
+// constraints on their own columns.
+func TestMergeResultIsValidProperty(t *testing.T) {
+	cols := []string{"a", "b", "c", "d", "e"}
+	gen := func(r *rand.Rand) *PartialOrder {
+		n := 1 + r.Intn(4)
+		perm := r.Perm(len(cols))
+		var parts [][]string
+		i := 0
+		for i < n {
+			size := 1 + r.Intn(2)
+			var part []string
+			for j := 0; j < size && i < n; j++ {
+				part = append(part, cols[perm[i]])
+				i++
+			}
+			parts = append(parts, part)
+		}
+		return NewPartialOrder("t", parts...)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q := gen(r), gen(r)
+		m := MergeCandidatesPairwise(p, q)
+		if m == nil {
+			return true
+		}
+		// The merge must preserve every precedence constraint of both
+		// inputs (restricted to columns present in the merge).
+		check := func(src *PartialOrder) bool {
+			for _, a := range src.Columns() {
+				for _, b := range src.Columns() {
+					if src.Precedes(a, b) && m.Precedes(b, a) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if !check(p) || !check(q) {
+			return false
+		}
+		// Every column of both inputs must appear exactly once.
+		seen := map[string]int{}
+		for _, c := range m.Columns() {
+			seen[c]++
+		}
+		for _, c := range p.Columns() {
+			if seen[c] != 1 {
+				return false
+			}
+		}
+		for _, c := range q.Columns() {
+			if seen[c] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergePartialOrdersDeduplicatesAndKeepsSources(t *testing.T) {
+	a := NewPartialOrder("t", []string{"x"})
+	a.Sources = []Source{{Normalized: "q1"}}
+	b := NewPartialOrder("t", []string{"x"})
+	b.Sources = []Source{{Normalized: "q2"}}
+	out := MergePartialOrders([]*PartialOrder{a, b})
+	if len(out) != 1 {
+		t.Fatalf("out = %d", len(out))
+	}
+	if len(out[0].Sources) != 2 {
+		t.Fatalf("sources = %+v", out[0].Sources)
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"aim/internal/catalog"
+	"aim/internal/sqlparser"
+	"aim/internal/workload"
+)
+
+// Candidate is one linearized candidate index with its utility accounting.
+type Candidate struct {
+	PO        *PartialOrder
+	Index     *catalog.Index
+	SizeBytes int64
+	// Gain is Σ_q s_{i,q}·U₊(q, I) in CPU seconds over the observation
+	// window (Eq. 7).
+	Gain float64
+	// Maintenance is u₋(i), the write-amplification discount in CPU
+	// seconds over the window (Eq. 8), stored positive.
+	Maintenance float64
+	// PerQueryGain attributes gain to normalized queries, for explanations.
+	PerQueryGain map[string]float64
+}
+
+// Utility is the net benefit u(i) = gain − maintenance.
+func (c *Candidate) Utility() float64 { return c.Gain - c.Maintenance }
+
+// UtilityPerByte is the knapsack ordering criterion.
+func (c *Candidate) UtilityPerByte() float64 {
+	size := c.SizeBytes
+	if size <= 0 {
+		size = 1
+	}
+	return c.Utility() / float64(size)
+}
+
+// rankCandidates computes Eq. 7 gains and Eq. 8 maintenance discounts for
+// every candidate against the representative workload.
+func (a *Advisor) rankCandidates(cands []*Candidate, queries []*workload.QueryStats) error {
+	existing := a.materializedIndexes()
+	byKey := map[string]*Candidate{}
+	var allIdx []*catalog.Index
+	for _, c := range cands {
+		byKey[c.Index.Key()] = c
+		allIdx = append(allIdx, c.Index)
+	}
+
+	// Gains: per query, cost with vs without the candidates generated for
+	// it; the gain is shared among the candidates the optimizer would use.
+	for _, q := range queries {
+		if q.IsDML() {
+			continue
+		}
+		sel := boundSelect(q)
+		if sel == nil {
+			continue
+		}
+		var forQ []*catalog.Index
+		var forQCands []*Candidate
+		for _, c := range cands {
+			for _, s := range c.PO.Sources {
+				if s.Normalized == q.Normalized {
+					forQ = append(forQ, c.Index)
+					forQCands = append(forQCands, c)
+					break
+				}
+			}
+		}
+		if len(forQ) == 0 {
+			continue
+		}
+		base, err := a.DB.Optimizer.EstimateSelectConfig(sel, existing)
+		if err != nil {
+			continue
+		}
+		with, err := a.DB.Optimizer.EstimateSelectConfig(sel, append(append([]*catalog.Index(nil), existing...), forQ...))
+		if err != nil {
+			continue
+		}
+		if base.Cost <= 0 || with.Cost >= base.Cost {
+			continue
+		}
+		uPlus := (base.Cost - with.Cost) / base.Cost * q.CPUSeconds
+		if q.Weight > 0 {
+			uPlus *= q.Weight
+		}
+		// Share ∝ the I/O reduction each used candidate provides.
+		type share struct {
+			c *Candidate
+			w float64
+		}
+		var shares []share
+		total := 0.0
+		for _, u := range with.Used {
+			if u.Index == nil {
+				continue
+			}
+			c := byKey[u.Index.Key()]
+			if c == nil {
+				continue // an existing index, not a candidate
+			}
+			rows := 1.0
+			if ts := a.DB.TableStats(u.Index.Table); ts != nil {
+				rows = float64(ts.RowCount)
+			}
+			w := rows - u.EstEntries
+			if w < 1 {
+				w = 1
+			}
+			shares = append(shares, share{c, w})
+			total += w
+		}
+		for _, s := range shares {
+			g := uPlus * s.w / total
+			s.c.Gain += g
+			if s.c.PerQueryGain == nil {
+				s.c.PerQueryGain = map[string]float64{}
+			}
+			s.c.PerQueryGain[q.Normalized] += g
+		}
+		_ = forQCands
+	}
+
+	// Maintenance: per DML query, attribute per-candidate index update cost
+	// relative to the statement's base cost (Eq. 8).
+	for _, q := range queries {
+		if !q.IsDML() {
+			continue
+		}
+		stmt := boundDML(q)
+		baseEst, err := a.DB.Optimizer.EstimateDMLConfig(stmt, existing)
+		if err != nil {
+			continue
+		}
+		denom := baseEst.TotalCost()
+		if denom <= 0 {
+			continue
+		}
+		withEst, err := a.DB.Optimizer.EstimateDMLConfig(stmt, append(append([]*catalog.Index(nil), existing...), allIdx...))
+		if err != nil {
+			continue
+		}
+		for key, m := range withEst.IndexMaintenance {
+			c := byKey[key]
+			if c == nil {
+				continue
+			}
+			c.Maintenance += m / denom * q.CPUSeconds
+		}
+	}
+
+	// Sharding economics (§VIII(b)): every shard pays maintenance and
+	// storage for every index, while the aggregated gains already include
+	// the whole fleet's executions.
+	if a.Cfg.ShardCount > 1 {
+		f := float64(a.Cfg.ShardCount)
+		for _, c := range cands {
+			c.Maintenance *= f
+			c.SizeBytes *= int64(a.Cfg.ShardCount)
+		}
+	}
+	return nil
+}
+
+// boundDML binds sampled parameters into a DML statement for costing.
+func boundDML(q *workload.QueryStats) sqlparser.Statement {
+	if len(q.SampleParams) == 0 {
+		return q.Stmt
+	}
+	if b, err := sqlparser.Bind(q.Stmt, q.SampleParams[0]); err == nil {
+		return b
+	}
+	return q.Stmt
+}
+
+// knapsackSelect implements §III-F's budgeted selection: candidates are
+// taken in decreasing utility-per-byte order while the storage budget
+// allows, skipping non-positive utilities and exact duplicates of existing
+// indexes. Afterwards, selected candidates that are strict prefixes of
+// other selected candidates are dropped as redundant.
+func (a *Advisor) knapsackSelect(cands []*Candidate, budget int64) []*Candidate {
+	sorted := append([]*Candidate(nil), cands...)
+	if a.Cfg.RankByUtilityOnly {
+		sort.SliceStable(sorted, func(i, j int) bool {
+			return sorted[i].Utility() > sorted[j].Utility()
+		})
+	} else {
+		sort.SliceStable(sorted, func(i, j int) bool {
+			return sorted[i].UtilityPerByte() > sorted[j].UtilityPerByte()
+		})
+	}
+	var picked []*Candidate
+	var used int64
+	for _, c := range sorted {
+		if c.Utility() <= 0 {
+			continue
+		}
+		if a.DB.Schema.FindIndexByColumns(c.Index.Table, c.Index.Columns) != nil {
+			continue
+		}
+		if budget > 0 && used+c.SizeBytes > budget {
+			continue
+		}
+		picked = append(picked, c)
+		used += c.SizeBytes
+	}
+	return dropPrefixRedundant(picked)
+}
+
+// dropPrefixRedundant removes selected candidates whose key columns are a
+// strict prefix of another selected candidate on the same table.
+func dropPrefixRedundant(picked []*Candidate) []*Candidate {
+	out := picked[:0]
+	for i, c := range picked {
+		redundant := false
+		for j, other := range picked {
+			if i == j || !strings.EqualFold(c.Index.Table, other.Index.Table) {
+				continue
+			}
+			if len(c.Index.Columns) < len(other.Index.Columns) && isPrefix(c.Index.Columns, other.Index.Columns) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func isPrefix(short, long []string) bool {
+	for i, c := range short {
+		if !strings.EqualFold(c, long[i]) {
+			return false
+		}
+	}
+	return true
+}

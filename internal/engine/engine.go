@@ -1,0 +1,388 @@
+// Package engine is the embedded database facade: it owns the catalog,
+// row store, statistics cache, optimizer and executor, and exposes a simple
+// Exec/Query API plus the clone and what-if hooks AIM builds on.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"aim/internal/catalog"
+	"aim/internal/exec"
+	"aim/internal/optimizer"
+	"aim/internal/sqlparser"
+	"aim/internal/sqltypes"
+	"aim/internal/stats"
+	"aim/internal/storage"
+)
+
+// DefaultSampleLimit bounds ANALYZE sampling per table.
+const DefaultSampleLimit = 5000
+
+// DB is one logical database.
+type DB struct {
+	Name       string
+	Schema     *catalog.Schema
+	Store      *storage.Store
+	Optimizer  *optimizer.Optimizer
+	executor   *exec.Executor
+	statsCache map[string]*stats.TableStats
+	// autoAnalyzeEvery re-collects a table's stats after this many writes.
+	writesSince map[string]int
+}
+
+// New creates an empty database.
+func New(name string) *DB {
+	db := &DB{
+		Name:        name,
+		Schema:      catalog.NewSchema(),
+		Store:       storage.NewStore(),
+		statsCache:  map[string]*stats.TableStats{},
+		writesSince: map[string]int{},
+	}
+	db.Optimizer = optimizer.New(db.Schema, db)
+	db.executor = exec.New(db.Store)
+	return db
+}
+
+// TableStats implements optimizer.StatsProvider with lazy collection.
+func (db *DB) TableStats(table string) *stats.TableStats {
+	key := strings.ToLower(table)
+	if ts, ok := db.statsCache[key]; ok {
+		return ts
+	}
+	tbl := db.Store.Table(table)
+	if tbl == nil {
+		return nil
+	}
+	ts := stats.Collect(tbl, DefaultSampleLimit)
+	db.statsCache[key] = ts
+	return ts
+}
+
+// Analyze refreshes statistics for every table (or one named table).
+func (db *DB) Analyze(tables ...string) {
+	if len(tables) == 0 {
+		for _, t := range db.Schema.Tables() {
+			tables = append(tables, t.Name)
+		}
+	}
+	for _, t := range tables {
+		tbl := db.Store.Table(t)
+		if tbl == nil {
+			continue
+		}
+		db.statsCache[strings.ToLower(t)] = stats.Collect(tbl, DefaultSampleLimit)
+	}
+}
+
+// Result is the outcome of one statement execution.
+type Result struct {
+	Columns []string
+	Rows    []sqltypes.Row
+	Stats   exec.Stats
+	// Plan annotations for SELECTs.
+	PlanDesc    []string
+	UsedIndexes []string
+}
+
+// Exec parses and executes one SQL statement.
+func (db *DB) Exec(sql string) (*Result, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(stmt)
+}
+
+// MustExec executes and panics on error — for fixtures and generators.
+func (db *DB) MustExec(sql string) *Result {
+	r, err := db.Exec(sql)
+	if err != nil {
+		panic(fmt.Sprintf("engine: %v (sql: %s)", err, sql))
+	}
+	return r
+}
+
+// ExecStmt executes a parsed statement.
+func (db *DB) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sqlparser.Select:
+		return db.execSelect(s)
+	case *sqlparser.Insert:
+		return db.execInsert(s)
+	case *sqlparser.Update, *sqlparser.Delete:
+		return db.execUpdateDelete(s)
+	case *sqlparser.CreateTable:
+		return db.execCreateTable(s)
+	case *sqlparser.CreateIndex:
+		return db.CreateIndex(&catalog.Index{Name: s.Name, Table: s.Table, Columns: s.Columns})
+	case *sqlparser.DropIndex:
+		return db.DropIndex(s.Name)
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+func (db *DB) execSelect(s *sqlparser.Select) (*Result, error) {
+	plan, desc, err := db.Optimizer.BuildSelectPlan(s)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(s.Exprs))
+	for i, se := range s.Exprs {
+		switch {
+		case se.Alias != "":
+			cols[i] = se.Alias
+		case se.Star:
+			cols[i] = "*"
+		default:
+			cols[i] = se.Expr.SQL()
+		}
+	}
+	res, err := db.executor.Run(plan, cols)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Columns:     res.Columns,
+		Rows:        res.Rows,
+		Stats:       res.Stats,
+		PlanDesc:    desc,
+		UsedIndexes: plan.UsedIndexes,
+	}, nil
+}
+
+func (db *DB) execInsert(s *sqlparser.Insert) (*Result, error) {
+	tbl := db.Schema.Table(s.Table)
+	if tbl == nil {
+		return nil, fmt.Errorf("engine: unknown table %q", s.Table)
+	}
+	// Evaluate row expressions (must be constant).
+	emptyLayout := exec.NewLayout(nil)
+	rows := make([]sqltypes.Row, 0, len(s.Rows))
+	for _, exprRow := range s.Rows {
+		full := make(sqltypes.Row, len(tbl.Columns))
+		for i := range full {
+			full[i] = sqltypes.Null
+		}
+		if len(s.Columns) == 0 {
+			if len(exprRow) != len(tbl.Columns) {
+				return nil, fmt.Errorf("engine: INSERT expects %d values, got %d", len(tbl.Columns), len(exprRow))
+			}
+			for i, e := range exprRow {
+				v, err := constEval(e, emptyLayout)
+				if err != nil {
+					return nil, err
+				}
+				full[i] = v
+			}
+		} else {
+			if len(exprRow) != len(s.Columns) {
+				return nil, fmt.Errorf("engine: INSERT expects %d values, got %d", len(s.Columns), len(exprRow))
+			}
+			for i, c := range s.Columns {
+				ord := tbl.ColumnIndex(c)
+				if ord < 0 {
+					return nil, fmt.Errorf("engine: unknown column %q", c)
+				}
+				v, err := constEval(exprRow[i], emptyLayout)
+				if err != nil {
+					return nil, err
+				}
+				full[ord] = v
+			}
+		}
+		rows = append(rows, full)
+	}
+	st, err := db.executor.Insert(s.Table, rows)
+	if err != nil {
+		return nil, err
+	}
+	db.noteWrites(s.Table, len(rows))
+	return &Result{Stats: st}, nil
+}
+
+func constEval(e sqlparser.Expr, l *exec.Layout) (sqltypes.Value, error) {
+	ce, err := exec.Compile(e, l)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	return ce(nil)
+}
+
+func (db *DB) execUpdateDelete(stmt sqlparser.Statement) (*Result, error) {
+	plan, assigns, err := db.Optimizer.BuildDMLPlan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	var st exec.Stats
+	var table string
+	switch s := stmt.(type) {
+	case *sqlparser.Update:
+		table = s.Table
+		st, err = db.executor.Update(plan, assigns)
+	case *sqlparser.Delete:
+		table = s.Table
+		st, err = db.executor.Delete(plan)
+	}
+	if err != nil {
+		return nil, err
+	}
+	db.noteWrites(table, int(st.RowsSent))
+	return &Result{Stats: st}, nil
+}
+
+// noteWrites invalidates cached statistics after enough churn.
+func (db *DB) noteWrites(table string, n int) {
+	key := strings.ToLower(table)
+	db.writesSince[key] += n
+	ts := db.statsCache[key]
+	if ts == nil {
+		return
+	}
+	threshold := int(ts.RowCount/5) + 100
+	if db.writesSince[key] >= threshold {
+		delete(db.statsCache, key)
+		db.writesSince[key] = 0
+	}
+}
+
+func (db *DB) execCreateTable(s *sqlparser.CreateTable) (*Result, error) {
+	cols := make([]catalog.Column, len(s.Columns))
+	for i, c := range s.Columns {
+		cols[i] = catalog.Column{Name: c.Name, Type: c.Type}
+	}
+	def, err := catalog.NewTable(s.Table, cols, s.PrimaryKey)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Schema.AddTable(def); err != nil {
+		return nil, err
+	}
+	if _, err := db.Store.CreateTable(def); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+// CreateIndex registers and materializes a secondary index.
+func (db *DB) CreateIndex(def *catalog.Index) (*Result, error) {
+	if def.Hypothetical {
+		return nil, fmt.Errorf("engine: cannot materialize hypothetical index %q", def.Name)
+	}
+	if err := db.Schema.AddIndex(def); err != nil {
+		return nil, err
+	}
+	tbl := db.Store.Table(def.Table)
+	var m storage.Metrics
+	if _, err := tbl.BuildIndex(def, &m); err != nil {
+		db.Schema.DropIndex(def.Name)
+		return nil, err
+	}
+	return &Result{Stats: exec.Stats{RowsRead: m.RowsRead, PageReads: m.PageReads, IndexWrites: m.IndexWrites}}, nil
+}
+
+// DropIndex removes a secondary index from the schema and store.
+func (db *DB) DropIndex(name string) (*Result, error) {
+	ix := db.Schema.Index(name)
+	if ix == nil {
+		return nil, fmt.Errorf("engine: unknown index %q", name)
+	}
+	db.Schema.DropIndex(name)
+	if tbl := db.Store.Table(ix.Table); tbl != nil {
+		tbl.DropIndex(name)
+	}
+	return &Result{}, nil
+}
+
+// IndexSizeBytes returns the materialized size of an index, or an estimate
+// from statistics when the index is hypothetical.
+func (db *DB) IndexSizeBytes(def *catalog.Index) int64 {
+	if tbl := db.Store.Table(def.Table); tbl != nil {
+		if ix := tbl.Index(def.Name); ix != nil {
+			return ix.SizeBytes()
+		}
+	}
+	return db.EstimateIndexSize(def)
+}
+
+// EstimateIndexSize sizes a (possibly hypothetical) index from statistics:
+// per entry, the key columns' average widths plus the primary key twice
+// (suffix + payload) plus fixed overhead.
+func (db *DB) EstimateIndexSize(def *catalog.Index) int64 {
+	ts := db.TableStats(def.Table)
+	tbl := db.Schema.Table(def.Table)
+	if ts == nil || tbl == nil || ts.RowCount == 0 {
+		return 0
+	}
+	perEntry := 16.0
+	width := func(col string) float64 {
+		switch tbl.Columns[tbl.ColumnIndex(col)].Type {
+		case sqltypes.KindString, sqltypes.KindBytes:
+			return 18 // typical short-string payload
+		default:
+			return 8
+		}
+	}
+	for _, c := range def.Columns {
+		perEntry += width(c)
+	}
+	for _, c := range tbl.PrimaryKeyNames() {
+		perEntry += 2 * width(c)
+	}
+	return int64(perEntry * float64(ts.RowCount))
+}
+
+// TotalIndexBytes returns the materialized secondary index footprint.
+func (db *DB) TotalIndexBytes() int64 { return db.Store.TotalIndexBytes() }
+
+// Clone produces an isolated copy of the database (schema, data, indexes,
+// statistics). This is the MyShadow substrate: experiments run on the clone
+// never touch the original.
+func (db *DB) Clone(name string) *DB {
+	out := &DB{
+		Name:        name,
+		Schema:      db.Schema.Clone(),
+		Store:       db.Store.Clone(),
+		statsCache:  map[string]*stats.TableStats{},
+		writesSince: map[string]int{},
+	}
+	for k, v := range db.statsCache {
+		out.statsCache[k] = v
+	}
+	out.Optimizer = optimizer.New(out.Schema, out)
+	out.executor = exec.New(out.Store)
+	return out
+}
+
+// Explain plans a SELECT and returns the access descriptions without
+// executing it.
+func (db *DB) Explain(sql string) ([]string, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparser.Select)
+	if !ok {
+		return nil, fmt.Errorf("engine: EXPLAIN supports only SELECT")
+	}
+	_, desc, err := db.Optimizer.BuildSelectPlan(sel)
+	return desc, err
+}
+
+// InsertRows bulk-loads rows (already in full table column order) without
+// per-row SQL parsing. Generators use it to build benchmark datasets.
+func (db *DB) InsertRows(table string, rows []sqltypes.Row) error {
+	tbl := db.Store.Table(table)
+	if tbl == nil {
+		return fmt.Errorf("engine: unknown table %q", table)
+	}
+	for _, row := range rows {
+		if err := tbl.Insert(row, nil); err != nil {
+			return err
+		}
+	}
+	db.noteWrites(table, len(rows))
+	return nil
+}

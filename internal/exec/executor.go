@@ -1,0 +1,517 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"aim/internal/sqltypes"
+	"aim/internal/storage"
+)
+
+// errStop aborts the join pipeline once a LIMIT target is reached.
+var errStop = errors.New("exec: early stop")
+
+// Executor runs physical plans against a store.
+type Executor struct {
+	Store *storage.Store
+}
+
+// New returns an executor over the store.
+func New(store *storage.Store) *Executor { return &Executor{Store: store} }
+
+// Result is the output of a SELECT execution.
+type Result struct {
+	Columns []string
+	Rows    []sqltypes.Row
+	Stats   Stats
+}
+
+// Run executes a SELECT plan.
+func (e *Executor) Run(p *Plan, columns []string) (*Result, error) {
+	res := &Result{Columns: columns}
+	env := make([]sqltypes.Value, p.Layout.Width)
+
+	// Early termination: when no sort, grouping or dedup reorders rows,
+	// LIMIT can stop the pipeline as soon as enough rows are produced.
+	rowTarget := int64(-1)
+	if !p.Grouped && !p.Distinct && p.Limit >= 0 && (len(p.OrderBy) == 0 || p.OrderSatisfied) {
+		rowTarget = p.Limit + p.Offset
+	}
+
+	var outRows []sqltypes.Row
+	emitEnvRow := func() error {
+		row := make(sqltypes.Row, len(p.Output))
+		for i, o := range p.Output {
+			v, err := o.Expr(env)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		outRows = append(outRows, row)
+		if rowTarget >= 0 && int64(len(outRows)) >= rowTarget {
+			return errStop
+		}
+		return nil
+	}
+
+	if p.Grouped {
+		agg := newAggregator(p)
+		err := e.runSteps(p, 0, env, &res.Stats, func() error { return agg.absorb(env) })
+		if err != nil {
+			return nil, err
+		}
+		outRows, err = agg.finish()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if err := e.runSteps(p, 0, env, &res.Stats, emitEnvRow); err != nil && err != errStop {
+			return nil, err
+		}
+	}
+
+	if p.Distinct {
+		outRows = distinctRows(outRows, &res.Stats)
+	}
+	if len(p.OrderBy) > 0 && !p.OrderSatisfied {
+		res.Stats.SortRows += int64(len(outRows))
+		sortRows(outRows, p.OrderBy)
+	}
+	outRows = applyLimit(outRows, p.Limit, p.Offset)
+	if p.HiddenTail > 0 {
+		for i, r := range outRows {
+			outRows[i] = r[:len(r)-p.HiddenTail]
+		}
+	}
+	res.Rows = outRows
+	res.Stats.RowsSent = int64(len(outRows))
+	return res, nil
+}
+
+// runSteps drives the left-deep nested-loop pipeline. onRow is invoked once
+// per fully joined env row.
+func (e *Executor) runSteps(p *Plan, depth int, env []sqltypes.Value, st *Stats, onRow func() error) error {
+	if depth == len(p.Steps) {
+		return onRow()
+	}
+	step := &p.Steps[depth]
+	inst := p.Layout.Instances[step.Instance]
+	tbl := e.Store.Table(inst.Table.Name)
+	if tbl == nil {
+		return fmt.Errorf("exec: table %q not materialized", inst.Table.Name)
+	}
+
+	// Resolve equality-prefix values; a NULL equality key matches nothing.
+	prefix := make([]sqltypes.Value, len(step.EqKeys))
+	for i, k := range step.EqKeys {
+		v := k.Resolve(env)
+		if v.IsNull() {
+			return nil
+		}
+		prefix[i] = v
+	}
+
+	if len(step.In) > 0 {
+		// Multi-range read: one bounded scan per IN value, in value order so
+		// the output remains sorted on the index columns.
+		vals := make([]sqltypes.Value, 0, len(step.In))
+		for _, ks := range step.In {
+			v := ks.Resolve(env)
+			if !v.IsNull() {
+				vals = append(vals, v)
+			}
+		}
+		sort.Slice(vals, func(i, j int) bool { return sqltypes.Compare(vals[i], vals[j]) < 0 })
+		prev := sqltypes.Null
+		for _, v := range vals {
+			if !prev.IsNull() && sqltypes.Compare(prev, v) == 0 {
+				continue // dedupe repeated IN values
+			}
+			prev = v
+			full := append(append([]sqltypes.Value(nil), prefix...), v)
+			lo, hi, hiInc := scanBounds(full, nil, env)
+			var err error
+			if step.IndexName == "" {
+				err = e.scanClustered(p, depth, step, tbl, env, lo, hi, hiInc, st, onRow)
+			} else {
+				err = e.scanIndex(p, depth, step, tbl, env, lo, hi, hiInc, st, onRow)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	lo, hi, hiInc := scanBounds(prefix, step.Range, env)
+	if step.IndexName == "" {
+		return e.scanClustered(p, depth, step, tbl, env, lo, hi, hiInc, st, onRow)
+	}
+	return e.scanIndex(p, depth, step, tbl, env, lo, hi, hiInc, st, onRow)
+}
+
+// scanBounds builds encoded byte bounds from the equality prefix and the
+// optional range on the following column.
+func scanBounds(prefix []sqltypes.Value, rng *RangeSpec, env []sqltypes.Value) (lo, hi []byte, hiInc bool) {
+	base := sqltypes.EncodeKey(nil, prefix...)
+	if rng == nil {
+		if len(prefix) == 0 {
+			return nil, nil, false // full scan
+		}
+		// Prefix-only: [base, base+0xFF)
+		hi = append(append([]byte(nil), base...), 0xFF)
+		return base, hi, false
+	}
+	lo = base
+	if rng.Lo != nil {
+		v := rng.Lo.Resolve(env)
+		lo = sqltypes.EncodeKey(append([]byte(nil), base...), v)
+		if !rng.LoInc {
+			lo = append(lo, 0xFF)
+		}
+	}
+	if rng.Hi != nil {
+		v := rng.Hi.Resolve(env)
+		hi = sqltypes.EncodeKey(append([]byte(nil), base...), v)
+		if rng.HiInc {
+			hi = append(hi, 0xFF)
+		}
+	} else if len(base) > 0 {
+		hi = append(append([]byte(nil), base...), 0xFF)
+	}
+	return lo, hi, false
+}
+
+func (e *Executor) scanClustered(p *Plan, depth int, step *Step, tbl *storage.Table, env []sqltypes.Value, lo, hi []byte, hiInc bool, st *Stats, onRow func() error) error {
+	base := p.Layout.Instances[step.Instance].Base
+	ncols := len(p.Layout.Instances[step.Instance].Table.Columns)
+	st.PageReads += int64(tbl.Data().Height())
+	it := tbl.Data().SeekRange(lo, hi, hiInc)
+	for ; it.Valid(); it.Next() {
+		st.RowsRead++
+		row := it.Value().(sqltypes.Row)
+		copy(env[base:base+ncols], row)
+		ok, err := passes(step.Filter, env)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := e.runSteps(p, depth+1, env, st, onRow); err != nil {
+			return err
+		}
+	}
+	st.PageReads += int64(it.LeavesWalked())
+	clearSegment(env, base, ncols)
+	return nil
+}
+
+func (e *Executor) scanIndex(p *Plan, depth int, step *Step, tbl *storage.Table, env []sqltypes.Value, lo, hi []byte, hiInc bool, st *Stats, onRow func() error) error {
+	ix := tbl.Index(step.IndexName)
+	if ix == nil {
+		return fmt.Errorf("exec: index %q not materialized on %s", step.IndexName, tbl.Def.Name)
+	}
+	inst := p.Layout.Instances[step.Instance]
+	base := inst.Base
+	ncols := len(inst.Table.Columns)
+	keyCols := len(ix.Ordinals()) + len(tbl.Def.PrimaryKey)
+
+	st.PageReads += int64(ix.Tree().Height())
+	it := ix.Tree().SeekRange(lo, hi, hiInc)
+	for ; it.Valid(); it.Next() {
+		st.RowsRead++ // index entry examined
+		needDecode := step.Covering || step.ICP != nil
+		if needDecode {
+			vals, _, err := sqltypes.DecodeKey(it.Key(), keyCols)
+			if err != nil {
+				return fmt.Errorf("exec: corrupt index entry: %v", err)
+			}
+			clearSegment(env, base, ncols)
+			for i, o := range ix.Ordinals() {
+				env[base+o] = vals[i]
+			}
+			for i, o := range tbl.Def.PrimaryKey {
+				env[base+o] = vals[len(ix.Ordinals())+i]
+			}
+			if step.ICP != nil {
+				ok, err := passes(step.ICP, env)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+		}
+		if !step.Covering {
+			pk := it.Value().([]byte)
+			row, ok := tbl.GetByPK(pk, nil)
+			if !ok {
+				return fmt.Errorf("exec: dangling index entry in %s", step.IndexName)
+			}
+			st.RowsRead++
+			st.PageReads += int64(tbl.Data().Height())
+			copy(env[base:base+ncols], row)
+		}
+		ok, err := passes(step.Filter, env)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := e.runSteps(p, depth+1, env, st, onRow); err != nil {
+			return err
+		}
+	}
+	st.PageReads += int64(it.LeavesWalked())
+	clearSegment(env, base, ncols)
+	return nil
+}
+
+func clearSegment(env []sqltypes.Value, base, n int) {
+	for i := base; i < base+n; i++ {
+		env[i] = sqltypes.Null
+	}
+}
+
+func passes(f CompiledExpr, env []sqltypes.Value) (bool, error) {
+	if f == nil {
+		return true, nil
+	}
+	v, err := f(env)
+	if err != nil {
+		return false, err
+	}
+	return !v.IsNull() && v.Bool(), nil
+}
+
+// aggregator implements hash (or streaming) group-by aggregation.
+type aggregator struct {
+	p      *Plan
+	groups map[string]*groupState
+	order  []string // insertion order for deterministic output
+	// streaming state
+	stream    bool
+	curKey    []byte
+	curState  *groupState
+	flushed   []sqltypes.Row
+	streamErr error
+}
+
+type groupState struct {
+	rep    sqltypes.Row // representative env row for non-aggregate outputs
+	counts []int64
+	sums   []float64
+	mins   []sqltypes.Value
+	maxs   []sqltypes.Value
+}
+
+func newAggregator(p *Plan) *aggregator {
+	return &aggregator{p: p, groups: map[string]*groupState{}, stream: p.GroupOrdered}
+}
+
+func (a *aggregator) newState(env []sqltypes.Value) *groupState {
+	n := len(a.p.Aggs)
+	rep := make(sqltypes.Row, len(env))
+	copy(rep, env)
+	return &groupState{
+		rep:    rep,
+		counts: make([]int64, n),
+		sums:   make([]float64, n),
+		mins:   make([]sqltypes.Value, n),
+		maxs:   make([]sqltypes.Value, n),
+	}
+}
+
+func (a *aggregator) absorb(env []sqltypes.Value) error {
+	var keyBytes []byte
+	if len(a.p.GroupBy) > 0 {
+		keyVals := make([]sqltypes.Value, len(a.p.GroupBy))
+		for i, g := range a.p.GroupBy {
+			v, err := g(env)
+			if err != nil {
+				return err
+			}
+			keyVals[i] = v
+		}
+		keyBytes = sqltypes.EncodeKey(nil, keyVals...)
+	}
+	var gs *groupState
+	if a.stream {
+		if a.curState != nil && string(a.curKey) == string(keyBytes) {
+			gs = a.curState
+		} else {
+			if a.curState != nil {
+				row, err := a.emitGroup(a.curState)
+				if err != nil {
+					return err
+				}
+				a.flushed = append(a.flushed, row)
+			}
+			gs = a.newState(env)
+			a.curState = gs
+			a.curKey = append(a.curKey[:0], keyBytes...)
+		}
+	} else {
+		var ok bool
+		gs, ok = a.groups[string(keyBytes)]
+		if !ok {
+			gs = a.newState(env)
+			a.groups[string(keyBytes)] = gs
+			a.order = append(a.order, string(keyBytes))
+		}
+	}
+	for i, spec := range a.p.Aggs {
+		var v sqltypes.Value
+		if spec.Arg != nil {
+			var err error
+			v, err = spec.Arg(env)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				continue // aggregates skip NULLs
+			}
+		}
+		switch spec.Func {
+		case AggCount:
+			gs.counts[i]++
+		case AggSum, AggAvg:
+			gs.counts[i]++
+			gs.sums[i] += v.Float()
+		case AggMin:
+			if gs.counts[i] == 0 || sqltypes.Compare(v, gs.mins[i]) < 0 {
+				gs.mins[i] = v
+			}
+			gs.counts[i]++
+		case AggMax:
+			if gs.counts[i] == 0 || sqltypes.Compare(v, gs.maxs[i]) > 0 {
+				gs.maxs[i] = v
+			}
+			gs.counts[i]++
+		}
+	}
+	return nil
+}
+
+func (a *aggregator) emitGroup(gs *groupState) (sqltypes.Row, error) {
+	row := make(sqltypes.Row, len(a.p.Output))
+	for i, o := range a.p.Output {
+		if o.Agg >= 0 {
+			row[i] = aggResult(a.p.Aggs[o.Agg], gs, o.Agg)
+			continue
+		}
+		v, err := o.Expr(gs.rep)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+func aggResult(spec AggSpec, gs *groupState, i int) sqltypes.Value {
+	switch spec.Func {
+	case AggCount:
+		return sqltypes.NewInt(gs.counts[i])
+	case AggSum:
+		if gs.counts[i] == 0 {
+			return sqltypes.Null
+		}
+		return sqltypes.Float64ToValue(gs.sums[i])
+	case AggAvg:
+		if gs.counts[i] == 0 {
+			return sqltypes.Null
+		}
+		return sqltypes.NewFloat(gs.sums[i] / float64(gs.counts[i]))
+	case AggMin:
+		if gs.counts[i] == 0 {
+			return sqltypes.Null
+		}
+		return gs.mins[i]
+	case AggMax:
+		if gs.counts[i] == 0 {
+			return sqltypes.Null
+		}
+		return gs.maxs[i]
+	}
+	return sqltypes.Null
+}
+
+func (a *aggregator) finish() ([]sqltypes.Row, error) {
+	if a.stream {
+		if a.curState != nil {
+			row, err := a.emitGroup(a.curState)
+			if err != nil {
+				return nil, err
+			}
+			a.flushed = append(a.flushed, row)
+		}
+		return a.flushed, nil
+	}
+	// A grouped query with no groups and no GROUP BY yields one row of
+	// aggregates over the empty set.
+	if len(a.groups) == 0 && len(a.p.GroupBy) == 0 {
+		gs := a.newState(make([]sqltypes.Value, a.p.Layout.Width))
+		row, err := a.emitGroup(gs)
+		if err != nil {
+			return nil, err
+		}
+		return []sqltypes.Row{row}, nil
+	}
+	out := make([]sqltypes.Row, 0, len(a.groups))
+	for _, k := range a.order {
+		row, err := a.emitGroup(a.groups[k])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func distinctRows(rows []sqltypes.Row, st *Stats) []sqltypes.Row {
+	seen := map[string]bool{}
+	out := rows[:0]
+	for _, r := range rows {
+		k := string(sqltypes.EncodeKey(nil, r...))
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	st.SortRows += int64(len(rows)) // dedup work accounted like a sort pass
+	return out
+}
+
+func sortRows(rows []sqltypes.Row, specs []OrderSpec) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, s := range specs {
+			c := sqltypes.Compare(rows[i][s.Col], rows[j][s.Col])
+			if c == 0 {
+				continue
+			}
+			if s.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+func applyLimit(rows []sqltypes.Row, limit, offset int64) []sqltypes.Row {
+	if offset > 0 {
+		if offset >= int64(len(rows)) {
+			return nil
+		}
+		rows = rows[offset:]
+	}
+	if limit >= 0 && limit < int64(len(rows)) {
+		rows = rows[:limit]
+	}
+	return rows
+}

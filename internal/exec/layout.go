@@ -1,0 +1,92 @@
+// Package exec implements the physical query executor: compiled expression
+// evaluation, index/table access paths, nested-loop joins with index
+// lookups, aggregation, sorting and DML with secondary-index maintenance.
+// It consumes physical plans produced by the optimizer and reports detailed
+// execution statistics (rows read/sent, page reads, modelled CPU seconds)
+// that feed the AIM workload monitor.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"aim/internal/catalog"
+)
+
+// Layout fixes the flat row-buffer positions for every table instance in a
+// query. The combined environment row has one contiguous segment per FROM
+// instance, in FROM order, regardless of the join order chosen by the
+// optimizer.
+type Layout struct {
+	Instances []Instance
+	Width     int
+}
+
+// Instance is one table instance (table + effective alias) in the FROM list.
+type Instance struct {
+	Alias string
+	Table *catalog.Table
+	Base  int // offset of this instance's first column in the env buffer
+}
+
+// NewLayout builds a layout for the given instances in FROM order.
+func NewLayout(instances []Instance) *Layout {
+	l := &Layout{Instances: instances}
+	off := 0
+	for i := range l.Instances {
+		l.Instances[i].Base = off
+		off += len(l.Instances[i].Table.Columns)
+	}
+	l.Width = off
+	return l
+}
+
+// Resolve maps a (table-qualifier, column) reference to a flat env offset.
+// An empty qualifier matches when exactly one instance has the column.
+func (l *Layout) Resolve(qualifier, column string) (int, error) {
+	if qualifier != "" {
+		for _, in := range l.Instances {
+			if strings.EqualFold(in.Alias, qualifier) {
+				o := in.Table.ColumnIndex(column)
+				if o < 0 {
+					return 0, fmt.Errorf("exec: column %s.%s not found", qualifier, column)
+				}
+				return in.Base + o, nil
+			}
+		}
+		return 0, fmt.Errorf("exec: unknown table %q", qualifier)
+	}
+	found := -1
+	for _, in := range l.Instances {
+		if o := in.Table.ColumnIndex(column); o >= 0 {
+			if found >= 0 {
+				return 0, fmt.Errorf("exec: ambiguous column %q", column)
+			}
+			found = in.Base + o
+		}
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("exec: unknown column %q", column)
+	}
+	return found, nil
+}
+
+// InstanceOf returns the ordinal of the instance with the given alias, or -1.
+func (l *Layout) InstanceOf(alias string) int {
+	for i, in := range l.Instances {
+		if strings.EqualFold(in.Alias, alias) {
+			return i
+		}
+	}
+	return -1
+}
+
+// InstanceForOffset returns the instance ordinal owning a flat offset.
+func (l *Layout) InstanceForOffset(off int) int {
+	for i := len(l.Instances) - 1; i >= 0; i-- {
+		if off >= l.Instances[i].Base {
+			return i
+		}
+	}
+	return -1
+}

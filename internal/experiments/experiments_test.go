@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"testing"
+
+	"aim/internal/baselines"
+	"aim/internal/sim"
+	"aim/internal/workloads/products"
+)
+
+// fastProduct is a reduced spec for CI-speed experiment tests.
+func fastProduct() products.Spec {
+	return products.Spec{Name: "Product T", Tables: 8, JoinQueries: 10, Type: products.Balanced,
+		TargetDBA: 24, RowsPerTable: 900, Seed: 7}
+}
+
+func TestRunTable2Product(t *testing.T) {
+	opts := DefaultTable2Options()
+	opts.WorkloadStatements = 400
+	row, err := RunTable2Product(fastProduct(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.DBAIndexCount == 0 || row.AIMIndexCount == 0 {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.Jaccard <= 0 || row.Jaccard > 1 {
+		t.Fatalf("jaccard = %v", row.Jaccard)
+	}
+	if row.DBABytes <= 0 || row.AIMBytes <= 0 {
+		t.Fatalf("bytes = %d / %d", row.DBABytes, row.AIMBytes)
+	}
+	// The paper's qualitative claim: AIM matches manual tuning with a
+	// similar-or-smaller set; allow slack but catch blowups.
+	if row.AIMIndexCount > row.DBAIndexCount*2 {
+		t.Errorf("AIM set much larger than DBA: %d vs %d", row.AIMIndexCount, row.DBAIndexCount)
+	}
+}
+
+func TestRunFig3Convergence(t *testing.T) {
+	opts := DefaultFig3Options()
+	opts.WarmTicks, opts.ObserveTicks, opts.RecoverTicks = 3, 4, 8
+	opts.QueriesPerTick = 30
+	res, err := RunFig3(fastProduct(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Control.Ticks) != len(res.Test.Ticks) {
+		t.Fatal("series length mismatch")
+	}
+	// After the drop, the test machine must be measurably worse than in
+	// its warm phase; after AIM rebuilds, it must recover.
+	warm := avgCPURange(res.Test, 0, res.DropTick)
+	degraded := avgCPURange(res.Test, res.DropTick, res.AIMStartTick)
+	final := res.Test.AvgCPU(3)
+	if degraded <= warm*1.05 {
+		t.Errorf("dropping indexes did not hurt: warm=%.1f degraded=%.1f", warm, degraded)
+	}
+	if final >= degraded*0.95 {
+		t.Errorf("AIM did not recover: degraded=%.1f final=%.1f", degraded, final)
+	}
+	if len(res.IndexTicks) == 0 {
+		t.Error("no incremental builds recorded")
+	}
+	// Control stays roughly flat (its physical design never changes).
+	cWarm := avgCPURange(res.Control, 0, res.DropTick)
+	cEnd := res.Control.AvgCPU(3)
+	if cEnd > cWarm*1.6+5 {
+		t.Errorf("control drifted: %v -> %v", cWarm, cEnd)
+	}
+}
+
+// avgCPURange averages CPU%% of ticks [lo, hi) in a series.
+func avgCPURange(s sim.Series, lo, hi int) float64 {
+	if hi > len(s.Ticks) {
+		hi = len(s.Ticks)
+	}
+	if lo >= hi {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range s.Ticks[lo:hi] {
+		sum += t.CPUPercent
+	}
+	return sum / float64(hi-lo)
+}
+
+func TestRunFig4TPCHShape(t *testing.T) {
+	opts := DefaultFig4Options("tpch")
+	opts.Scale = 0.05
+	opts.BudgetFractions = []float64{0.3, 1.0}
+	res, err := RunFig4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 { // 2 budgets x 3 algorithms
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	byAlgo := map[string][]Fig4Point{}
+	for _, p := range res.Points {
+		byAlgo[p.Algorithm] = append(byAlgo[p.Algorithm], p)
+		if p.RelativeCost <= 0 || p.RelativeCost > 1.3 {
+			t.Errorf("%s: relative cost %v out of range", p.Algorithm, p.RelativeCost)
+		}
+	}
+	for algo, pts := range byAlgo {
+		// All algorithms must beat the unindexed baseline at full budget.
+		last := pts[len(pts)-1]
+		if last.RelativeCost >= 1 {
+			t.Errorf("%s: no improvement at full budget (%v)", algo, last.RelativeCost)
+		}
+	}
+	// The runtime shape: AIM's optimizer-call count is far below DTA and
+	// Extend at every budget.
+	for i := range byAlgo["AIM"] {
+		aim := byAlgo["AIM"][i].OptimizerCalls
+		if aim*2 > byAlgo["DTA"][i].OptimizerCalls || aim*2 > byAlgo["Extend"][i].OptimizerCalls {
+			t.Errorf("AIM calls (%d) not clearly below DTA (%d) / Extend (%d)",
+				aim, byAlgo["DTA"][i].OptimizerCalls, byAlgo["Extend"][i].OptimizerCalls)
+		}
+	}
+}
+
+func TestRunFig4JOBShape(t *testing.T) {
+	opts := DefaultFig4Options("job")
+	opts.Scale = 0.05
+	opts.BudgetFractions = []float64{1.0}
+	res, err := RunFig4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.Algorithm == "AIM" && p.RelativeCost >= 1 {
+			t.Errorf("AIM did not improve JOB: %v", p.RelativeCost)
+		}
+	}
+}
+
+func TestRunFig4UnknownBenchmark(t *testing.T) {
+	opts := DefaultFig4Options("tpch")
+	opts.Benchmark = "nope"
+	if _, err := RunFig4(opts); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestRunFig5PerQueryCosts(t *testing.T) {
+	opts := DefaultFig5Options()
+	opts.Scale = 0.05
+	opts.Algorithms = []baselines.Advisor{
+		&baselines.AIM{J: 2, MaxWidth: 4, EnableCovering: true},
+		&baselines.Extend{MaxWidth: 3},
+	}
+	rows, err := RunFig5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 22 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	affected := 0
+	for _, r := range rows {
+		if r.Unindexed <= 0 {
+			t.Errorf("%s: no unindexed cost", r.Query)
+		}
+		if len(r.Costs) != 2 {
+			t.Errorf("%s: costs = %v", r.Query, r.Costs)
+		}
+		if r.Affected {
+			affected++
+		}
+	}
+	if affected == 0 {
+		t.Error("no queries affected by indexes")
+	}
+}
+
+func TestRunFig6JoinParameter(t *testing.T) {
+	opts := DefaultFig6Options()
+	opts.Rows = 1500
+	opts.PhaseTicks = 3
+	opts.QueriesPerTick = 15
+	res, err := RunFig6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape assertions per §VI-C: AIM's final throughput beats the greedy
+	// baseline, and j=2 is at least as good as j=1.
+	if res.AIMFinalThroughput < res.GIAFinalThroughput {
+		t.Errorf("AIM throughput %.1f below GIA %.1f", res.AIMFinalThroughput, res.GIAFinalThroughput)
+	}
+	if res.J2Throughput+0.5 < res.J1Throughput {
+		t.Errorf("j=2 (%v) worse than j=1 (%v)", res.J2Throughput, res.J1Throughput)
+	}
+	if len(res.AIM.Ticks) != len(res.GIA.Ticks) {
+		t.Error("series mismatch")
+	}
+	if res.JStartTicks[1] == 0 || res.JStartTicks[2] <= res.JStartTicks[1] {
+		t.Error("phase markers wrong")
+	}
+}
+
+func TestRunContinuousTuning(t *testing.T) {
+	opts := DefaultContinuousOptions()
+	opts.Rows = 2000
+	opts.WindowStatements = 120
+	res, err := RunContinuous(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewIndexes == 0 {
+		t.Fatal("shift did not trigger new indexes")
+	}
+	if !res.ShadowAccepted {
+		t.Fatal("shadow gate rejected the fix")
+	}
+	if res.Phase3CPU >= res.Phase2CPU {
+		t.Errorf("re-tuning did not save CPU: %v -> %v", res.Phase2CPU, res.Phase3CPU)
+	}
+	if res.ImprovedQueries == 0 {
+		t.Error("no queries improved")
+	}
+	if res.CPUSavingFraction <= 0 {
+		t.Error("no savings fraction")
+	}
+}

@@ -1,0 +1,292 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"aim/internal/catalog"
+	"aim/internal/queryinfo"
+	"aim/internal/stats"
+)
+
+// eqSource is one way to bind an index column by equality: a constant atom
+// or a join edge to an already-placed table instance.
+type eqSource struct {
+	atom *queryinfo.Atom
+	join *queryinfo.JoinEdge // this instance's column = placed instance's column
+}
+
+// accessPath is one way to read a table instance.
+type accessPath struct {
+	index    *catalog.Index // nil = clustered full/range access on the PK
+	indexKey []string       // effective key columns (index cols, or PK cols)
+	eq       []eqSource     // bindings for the leading key columns
+	inAtom   *queryinfo.Atom
+	rng      *queryinfo.Atom
+	covering bool
+	icp      []*queryinfo.Atom
+
+	// entrySel is the fraction of the table's entries the scan visits.
+	entrySel float64
+	// lookupSel is the fraction requiring a PK lookup (after ICP).
+	lookupSel float64
+	// outSel is the fraction surviving all single-table predicates.
+	outSel float64
+	// probeCost is the modelled cost of one execution of this access.
+	probeCost float64
+	// outRows is table rows × outSel.
+	outRows float64
+}
+
+// Desc renders the access path for EXPLAIN-style output.
+func (ap *accessPath) Desc(table string) string {
+	switch {
+	case ap.index == nil && len(ap.eq) == 0 && ap.rng == nil && ap.inAtom == nil:
+		return fmt.Sprintf("%s: full scan", table)
+	case ap.index == nil:
+		return fmt.Sprintf("%s: PK range (eq=%d)", table, len(ap.eq))
+	default:
+		kind := "ref"
+		if ap.rng != nil || ap.inAtom != nil {
+			kind = "range"
+		}
+		if ap.covering {
+			kind += ",covering"
+		}
+		if len(ap.icp) > 0 {
+			kind += ",icp"
+		}
+		return fmt.Sprintf("%s: index %s (%s) eq=%d", table, ap.index.Name, kind, len(ap.eq))
+	}
+}
+
+// instanceContext gathers everything needed to enumerate access paths for
+// one table instance.
+type instanceContext struct {
+	info  *queryinfo.Info
+	inst  int
+	table *catalog.Table
+	// eqAtoms, inAtoms, rangeAtoms index single-table atoms by column.
+	eqAtoms    map[string]*queryinfo.Atom
+	inAtoms    map[string]*queryinfo.Atom
+	rangeAtoms map[string]*queryinfo.Atom
+	allAtoms   []*queryinfo.Atom
+	// opaqueSel multiplies in non-atom single-instance conjunct defaults.
+	opaqueSel float64
+	// referenced columns of this instance (for covering checks).
+	referenced []string
+}
+
+func newInstanceContext(info *queryinfo.Info, inst int) *instanceContext {
+	c := &instanceContext{
+		info:       info,
+		inst:       inst,
+		table:      info.Layout.Instances[inst].Table,
+		eqAtoms:    map[string]*queryinfo.Atom{},
+		inAtoms:    map[string]*queryinfo.Atom{},
+		rangeAtoms: map[string]*queryinfo.Atom{},
+		opaqueSel:  1,
+		referenced: info.Referenced[inst],
+	}
+	for _, a := range info.FilterAtoms[inst] {
+		c.allAtoms = append(c.allAtoms, a)
+		switch a.Op {
+		case queryinfo.OpEq, queryinfo.OpNullSafeEq, queryinfo.OpIsNull:
+			c.eqAtoms[a.Column] = a
+		case queryinfo.OpIn:
+			c.inAtoms[a.Column] = a
+		case queryinfo.OpRange, queryinfo.OpLikePrefix:
+			// Keep the more selective-looking bound when duplicated.
+			if _, dup := c.rangeAtoms[a.Column]; !dup {
+				c.rangeAtoms[a.Column] = a
+			}
+		}
+	}
+	for _, cj := range info.Conjuncts {
+		if len(cj.Instances) == 1 && cj.Instances[0] == inst && cj.Atom != nil && cj.Atom.Op == queryinfo.OpOther {
+			c.opaqueSel *= defaultConjunctSel
+		}
+	}
+	return c
+}
+
+// enumeratePaths builds every sensible access path for the instance, given
+// the set of placed instances (for join-edge equality bindings) and the
+// candidate index configuration.
+func (o *Optimizer) enumeratePaths(ctx *instanceContext, placed map[int]bool, indexes []*catalog.Index) []*accessPath {
+	ts := o.Stats.TableStats(ctx.table.Name)
+	rows := float64(1)
+	if ts != nil && ts.RowCount > 0 {
+		rows = float64(ts.RowCount)
+	}
+
+	// Selectivity of all single-table predicates on this instance.
+	outSel := ctx.opaqueSel
+	for _, a := range ctx.allAtoms {
+		outSel *= atomSelectivity(a, ts)
+	}
+
+	// Join-edge eq sources per column.
+	joinEq := map[string]*queryinfo.JoinEdge{}
+	for i := range ctx.info.JoinEdges {
+		e := &ctx.info.JoinEdges[i]
+		other, thisCol, _, ok := e.Other(ctx.inst)
+		if ok && placed[other] {
+			joinEq[thisCol] = e
+		}
+	}
+
+	var paths []*accessPath
+
+	// Full clustered scan is always available.
+	full := &accessPath{
+		indexKey:  ctx.table.PrimaryKeyNames(),
+		entrySel:  1,
+		lookupSel: 0,
+		outSel:    outSel,
+		covering:  true, // the clustered tree has every column
+		probeCost: rows*costRow + scanPages(rows)*costPage,
+		outRows:   rows * outSel,
+	}
+	paths = append(paths, full)
+
+	// PK-prefix access (eq/range on leading primary key columns).
+	if p := o.buildKeyedPath(ctx, nil, ctx.table.PrimaryKeyNames(), joinEq, ts, rows, outSel); p != nil {
+		paths = append(paths, p)
+	}
+
+	// Secondary indexes.
+	for _, ix := range indexes {
+		if !strings.EqualFold(ix.Table, ctx.table.Name) {
+			continue
+		}
+		if p := o.buildKeyedPath(ctx, ix, ix.Columns, joinEq, ts, rows, outSel); p != nil {
+			paths = append(paths, p)
+		}
+	}
+	return paths
+}
+
+// buildKeyedPath binds the key columns of one index (or the PK) and costs
+// the resulting scan. It returns nil when the index is unusable (no leading
+// binding) — except that an unbound secondary index can still be useful for
+// covering or ordered reads, which the caller handles via fullIndexPath.
+func (o *Optimizer) buildKeyedPath(ctx *instanceContext, ix *catalog.Index, keyCols []string, joinEq map[string]*queryinfo.JoinEdge, ts *stats.TableStats, rows, outSel float64) *accessPath {
+	p := &accessPath{index: ix, indexKey: keyCols}
+	entrySel := 1.0
+	pos := 0
+	for ; pos < len(keyCols); pos++ {
+		col := strings.ToLower(keyCols[pos])
+		if a, ok := ctx.eqAtoms[col]; ok {
+			p.eq = append(p.eq, eqSource{atom: a})
+			entrySel *= atomSelectivity(a, ts)
+			continue
+		}
+		if e, ok := joinEq[col]; ok {
+			p.eq = append(p.eq, eqSource{join: e})
+			entrySel *= joinEdgeSelectivity(*e, ctx.info, o.Stats)
+			continue
+		}
+		break
+	}
+	if pos < len(keyCols) {
+		col := strings.ToLower(keyCols[pos])
+		if a, ok := ctx.inAtoms[col]; ok {
+			p.inAtom = a
+			entrySel *= atomSelectivity(a, ts)
+		} else if a, ok := ctx.rangeAtoms[col]; ok {
+			p.rng = a
+			entrySel *= atomSelectivity(a, ts)
+		}
+	}
+	if len(p.eq) == 0 && p.inAtom == nil && p.rng == nil {
+		return nil // no binding; the plain full-scan path already covers this
+	}
+	o.finishPath(ctx, p, ts, rows, entrySel, outSel)
+	return p
+}
+
+// fullIndexPath builds an unbounded scan over a secondary index, useful only
+// for covering or ordered reads. The caller decides when to consider it.
+func (o *Optimizer) fullIndexPath(ctx *instanceContext, ix *catalog.Index, ts *stats.TableStats, rows, outSel float64) *accessPath {
+	p := &accessPath{index: ix, indexKey: ix.Columns}
+	o.finishPath(ctx, p, ts, rows, 1.0, outSel)
+	return p
+}
+
+// finishPath computes covering/ICP and the probe cost.
+func (o *Optimizer) finishPath(ctx *instanceContext, p *accessPath, ts *stats.TableStats, rows, entrySel, outSel float64) {
+	p.entrySel = entrySel
+	p.outSel = outSel
+	p.outRows = rows * outSel
+
+	if p.index != nil {
+		p.covering = p.index.Covers(ctx.table, ctx.referenced)
+		// ICP: atoms over index key + PK columns reduce PK lookups.
+		avail := p.index.ColumnSet()
+		for _, pk := range ctx.table.PrimaryKeyNames() {
+			avail[strings.ToLower(pk)] = true
+		}
+		lookupSel := entrySel
+		for _, a := range ctx.allAtoms {
+			if !avail[a.Column] {
+				continue
+			}
+			if usedInBinding(p, a) {
+				continue
+			}
+			p.icp = append(p.icp, a)
+			lookupSel *= atomSelectivity(a, ts)
+		}
+		p.lookupSel = lookupSel
+	} else {
+		p.covering = true
+		p.lookupSel = 0
+	}
+
+	entries := rows * entrySel
+	ranges := 1.0
+	if p.inAtom != nil {
+		n := len(p.inAtom.InValues)
+		if n == 0 {
+			n = defaultInCount
+		}
+		ranges = float64(n)
+	}
+	height := treeHeight(rows)
+	cost := ranges*height*costPage + entries*costRow + scanPages(entries)*costPage
+	if p.index != nil && !p.covering {
+		lookups := rows * p.lookupSel
+		cost += lookups * (height*costPage + costRow)
+	}
+	p.probeCost = cost
+}
+
+func usedInBinding(p *accessPath, a *queryinfo.Atom) bool {
+	for _, e := range p.eq {
+		if e.atom == a {
+			return true
+		}
+	}
+	return p.inAtom == a || p.rng == a
+}
+
+// treeHeight models the B+tree descent depth for a table of the given size.
+func treeHeight(rows float64) float64 {
+	h := 1.0
+	for n := rows / entriesPerLeaf; n > 1; n /= entriesPerLeaf {
+		h++
+	}
+	return h
+}
+
+// bestPath returns the cheapest path from the list.
+func bestPath(paths []*accessPath) *accessPath {
+	var best *accessPath
+	for _, p := range paths {
+		if best == nil || p.probeCost < best.probeCost {
+			best = p
+		}
+	}
+	return best
+}

@@ -1,0 +1,265 @@
+package optimizer
+
+import (
+	"aim/internal/catalog"
+	"math"
+
+	"aim/internal/queryinfo"
+)
+
+// joinResult is the outcome of the join-order search: a left-deep order of
+// instance ordinals with the chosen access path for each position.
+type joinResult struct {
+	order []int
+	paths []*accessPath
+	cost  float64
+	rows  float64 // estimated output cardinality of the join
+}
+
+// dpLimit caps the table count for exhaustive (Selinger) enumeration;
+// larger joins fall back to a greedy ordering.
+const dpLimit = 8
+
+// searchJoinOrder picks a join order and access paths. indexes is the
+// available index configuration (materialized plus hypothetical for what-if
+// calls). When straight is true the FROM order is kept as written.
+func (o *Optimizer) searchJoinOrder(info *queryinfo.Info, ctxs []*instanceContext, indexes *indexForTable, straight bool) *joinResult {
+	n := len(ctxs)
+	if straight || n == 1 {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return o.costOrder(info, ctxs, indexes, order)
+	}
+	if n <= dpLimit {
+		return o.searchDP(info, ctxs, indexes)
+	}
+	return o.searchGreedy(info, ctxs, indexes)
+}
+
+// indexForTable is the index configuration visible to one planning search:
+// the schema's materialized indexes plus any hypothetical extras.
+type indexForTable struct {
+	list []*catalog.Index
+}
+
+// forInstance returns the candidate indexes for an instance; filtering by
+// table happens inside enumeratePaths.
+func (c *indexForTable) forInstance(int) []*catalog.Index { return c.list }
+
+// costOrder evaluates one fixed order.
+func (o *Optimizer) costOrder(info *queryinfo.Info, ctxs []*instanceContext, idx *indexForTable, order []int) *joinResult {
+	res := &joinResult{order: order}
+	placed := map[int]bool{}
+	outer := 1.0
+	for step, inst := range order {
+		paths := o.enumeratePaths(ctxs[inst], placed, idx.forInstance(inst))
+		best := o.pickPath(paths, outer)
+		res.paths = append(res.paths, best)
+		res.cost += outer * best.probeCost
+		outer = o.joinedRows(info, ctxs, placed, inst, outer, best)
+		placed[inst] = true
+		_ = step
+	}
+	res.rows = outer
+	return res
+}
+
+// joinedRows propagates cardinality after joining inst into the placed set.
+func (o *Optimizer) joinedRows(info *queryinfo.Info, ctxs []*instanceContext, placed map[int]bool, inst int, outer float64, path *accessPath) float64 {
+	rows := outer * path.outRows
+	for _, e := range info.JoinEdges {
+		other, _, _, ok := e.Other(inst)
+		if ok && placed[other] {
+			rows *= joinEdgeSelectivity(e, info, o.Stats)
+		}
+	}
+	// Opaque multi-instance conjuncts that become evaluable now.
+	for _, cj := range info.Conjuncts {
+		if cj.Join != nil || cj.Atom != nil || len(cj.Instances) < 2 {
+			continue
+		}
+		appliesNow := false
+		allPlaced := true
+		for _, i := range cj.Instances {
+			if i == inst {
+				appliesNow = true
+			} else if !placed[i] {
+				allPlaced = false
+			}
+		}
+		if appliesNow && allPlaced {
+			rows *= defaultConjunctSel
+		}
+	}
+	if rows < 0 {
+		rows = 0
+	}
+	return rows
+}
+
+// pickPath selects the cheapest path for the given number of outer probes.
+// Probe count does not change the relative order of path costs in this
+// model, but keeping the parameter makes the intent explicit.
+func (o *Optimizer) pickPath(paths []*accessPath, outer float64) *accessPath {
+	return bestPath(paths)
+}
+
+// searchDP runs Selinger-style dynamic programming over instance subsets.
+func (o *Optimizer) searchDP(info *queryinfo.Info, ctxs []*instanceContext, idx *indexForTable) *joinResult {
+	n := len(ctxs)
+	type state struct {
+		cost  float64
+		rows  float64
+		order []int
+		paths []*accessPath
+	}
+	states := make([]*state, 1<<n)
+
+	neighbors := info.JoinNeighbors()
+	connectedTo := func(mask int, inst int) bool {
+		for other := range neighbors[inst] {
+			if mask&(1<<other) != 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	for size := 1; size <= n; size++ {
+		for mask := 1; mask < 1<<n; mask++ {
+			if popcount(mask) != size {
+				continue
+			}
+			var best *state
+			for inst := 0; inst < n; inst++ {
+				if mask&(1<<inst) == 0 {
+					continue
+				}
+				rest := mask &^ (1 << inst)
+				var prev *state
+				if rest == 0 {
+					prev = &state{cost: 0, rows: 1}
+				} else {
+					prev = states[rest]
+					if prev == nil {
+						continue
+					}
+					// Prefer connected expansions: skip cartesian products
+					// unless the remainder has no join edge to inst and no
+					// other instance does either (handled by fallback pass).
+					if !connectedTo(rest, inst) && anyConnected(rest, mask, neighbors) {
+						continue
+					}
+				}
+				placed := maskSet(rest)
+				paths := o.enumeratePaths(ctxs[inst], placed, idx.forInstance(inst))
+				ap := o.pickPath(paths, prev.rows)
+				cost := prev.cost + prev.rows*ap.probeCost
+				if best != nil && cost >= best.cost {
+					continue
+				}
+				rows := o.joinedRows(info, ctxs, placed, inst, prev.rows, ap)
+				order := append(append([]int(nil), prev.order...), inst)
+				pp := append(append([]*accessPath(nil), prev.paths...), ap)
+				best = &state{cost: cost, rows: rows, order: order, paths: pp}
+			}
+			states[mask] = best
+		}
+	}
+	final := states[1<<n-1]
+	if final == nil {
+		// Shouldn't happen, but fall back to FROM order.
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return o.costOrder(info, ctxs, idx, order)
+	}
+	return &joinResult{order: final.order, paths: final.paths, cost: final.cost, rows: final.rows}
+}
+
+// anyConnected reports whether any instance outside rest (but inside mask)
+// has a join edge into rest — i.e. a connected expansion exists.
+func anyConnected(rest, mask int, neighbors []map[int]bool) bool {
+	for inst := range neighbors {
+		if mask&(1<<inst) == 0 || rest&(1<<inst) != 0 {
+			continue
+		}
+		for other := range neighbors[inst] {
+			if rest&(1<<other) != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func maskSet(mask int) map[int]bool {
+	s := map[int]bool{}
+	for i := 0; mask != 0; i++ {
+		if mask&1 != 0 {
+			s[i] = true
+		}
+		mask >>= 1
+	}
+	return s
+}
+
+// searchGreedy orders tables by repeatedly appending the cheapest next step.
+func (o *Optimizer) searchGreedy(info *queryinfo.Info, ctxs []*instanceContext, idx *indexForTable) *joinResult {
+	n := len(ctxs)
+	res := &joinResult{}
+	placed := map[int]bool{}
+	outer := 1.0
+	for len(res.order) < n {
+		bestCost := math.Inf(1)
+		bestInst := -1
+		var bestAP *accessPath
+		for inst := 0; inst < n; inst++ {
+			if placed[inst] {
+				continue
+			}
+			paths := o.enumeratePaths(ctxs[inst], placed, idx.forInstance(inst))
+			ap := o.pickPath(paths, outer)
+			// Prefer connected expansions by penalizing cartesian steps.
+			penalty := 1.0
+			if len(res.order) > 0 && !hasEdgeToPlaced(info, inst, placed) {
+				penalty = 1e6
+			}
+			c := outer * ap.probeCost * penalty
+			if c < bestCost {
+				bestCost = c
+				bestInst = inst
+				bestAP = ap
+			}
+		}
+		res.cost += outer * bestAP.probeCost
+		outer = o.joinedRows(info, ctxs, placed, bestInst, outer, bestAP)
+		placed[bestInst] = true
+		res.order = append(res.order, bestInst)
+		res.paths = append(res.paths, bestAP)
+	}
+	res.rows = outer
+	return res
+}
+
+func hasEdgeToPlaced(info *queryinfo.Info, inst int, placed map[int]bool) bool {
+	for _, e := range info.JoinEdges {
+		other, _, _, ok := e.Other(inst)
+		if ok && placed[other] {
+			return true
+		}
+	}
+	return false
+}

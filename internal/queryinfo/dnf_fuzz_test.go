@@ -1,0 +1,102 @@
+package queryinfo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aim/internal/exec"
+	"aim/internal/sqlparser"
+	"aim/internal/sqltypes"
+)
+
+// TestDNFSemanticEquivalenceProperty: for random small boolean expressions,
+// the OR-of-ANDs reconstruction of queryinfo.DNF must evaluate identically
+// to the original expression on random rows. (The fallback path for
+// oversized expansions is an over-approximation and is excluded by keeping
+// the generated expressions small.)
+func TestDNFSemanticEquivalenceProperty(t *testing.T) {
+	schema := testSchema(t)
+	layout := exec.NewLayout([]exec.Instance{{Alias: "t1", Table: schema.Table("t1")}})
+
+	var genExpr func(r *rand.Rand, depth int) string
+	genExpr = func(r *rand.Rand, depth int) string {
+		if depth <= 0 || r.Intn(3) == 0 {
+			col := fmt.Sprintf("col%d", 1+r.Intn(4))
+			switch r.Intn(4) {
+			case 0:
+				return fmt.Sprintf("%s = %d", col, r.Intn(4))
+			case 1:
+				return fmt.Sprintf("%s > %d", col, r.Intn(4))
+			case 2:
+				return fmt.Sprintf("%s IN (%d, %d)", col, r.Intn(4), r.Intn(4))
+			default:
+				return fmt.Sprintf("%s BETWEEN %d AND %d", col, r.Intn(3), 2+r.Intn(3))
+			}
+		}
+		op := "AND"
+		if r.Intn(2) == 0 {
+			op = "OR"
+		}
+		left, right := genExpr(r, depth-1), genExpr(r, depth-1)
+		e := "(" + left + " " + op + " " + right + ")"
+		if r.Intn(5) == 0 {
+			e = "NOT " + e
+		}
+		return e
+	}
+
+	evalBool := func(ce exec.CompiledExpr, env []sqltypes.Value) bool {
+		v, err := ce(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return !v.IsNull() && v.Bool()
+	}
+
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 300; trial++ {
+		whereSQL := genExpr(r, 2)
+		stmt, err := sqlparser.Parse("SELECT col1 FROM t1 WHERE " + whereSQL)
+		if err != nil {
+			t.Fatalf("%s: %v", whereSQL, err)
+		}
+		where := stmt.(*sqlparser.Select).Where
+		factors := DNF(where)
+
+		// Reconstruct OR of ANDs.
+		var rebuilt sqlparser.Expr
+		for _, factor := range factors {
+			var conj sqlparser.Expr
+			for _, atom := range factor {
+				if conj == nil {
+					conj = atom
+				} else {
+					conj = &sqlparser.BinaryExpr{Op: "AND", Left: conj, Right: atom}
+				}
+			}
+			if rebuilt == nil {
+				rebuilt = conj
+			} else {
+				rebuilt = &sqlparser.BinaryExpr{Op: "OR", Left: rebuilt, Right: conj}
+			}
+		}
+		orig, err := exec.Compile(where, layout)
+		if err != nil {
+			t.Fatalf("%s: %v", whereSQL, err)
+		}
+		re, err := exec.Compile(rebuilt, layout)
+		if err != nil {
+			t.Fatalf("rebuilt %s: %v", rebuilt.SQL(), err)
+		}
+		env := make([]sqltypes.Value, layout.Width)
+		for row := 0; row < 30; row++ {
+			for i := range env {
+				env[i] = sqltypes.NewInt(int64(r.Intn(5)))
+			}
+			if evalBool(orig, env) != evalBool(re, env) {
+				t.Fatalf("DNF changed semantics for %s on %v\nfactors: %d", whereSQL, env, len(factors))
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package regression implements the continuous regression detector
+// (§VII-C): an off-host process that watches per-normalized-query average
+// CPU over time windows and flags automation-added indexes for removal when
+// a query regresses after a physical design change.
+package regression
+
+import (
+	"fmt"
+	"sort"
+
+	"aim/internal/catalog"
+	"aim/internal/engine"
+	"aim/internal/sqlparser"
+	"aim/internal/workload"
+)
+
+// Detector compares consecutive observation windows.
+type Detector struct {
+	// Threshold is the relative cpu_avg increase that counts as a
+	// regression (e.g. 0.3 = +30%).
+	Threshold float64
+	// MinExecutions filters noise from rarely executed queries.
+	MinExecutions int64
+
+	prev map[string]float64 // normalized query -> cpu_avg of last window
+}
+
+// NewDetector returns a detector with the given regression threshold.
+func NewDetector(threshold float64) *Detector {
+	return &Detector{Threshold: threshold, MinExecutions: 3, prev: map[string]float64{}}
+}
+
+// Regression describes one detected per-query regression.
+type Regression struct {
+	Normalized string
+	BeforeCPU  float64 // cpu_avg previous window
+	AfterCPU   float64 // cpu_avg current window
+	// SuspectIndexes are automation-created indexes used by the query's
+	// current plan — the candidates to revert.
+	SuspectIndexes []*catalog.Index
+}
+
+// Change is the relative cpu_avg increase.
+func (r *Regression) Change() float64 {
+	if r.BeforeCPU == 0 {
+		return 0
+	}
+	return (r.AfterCPU - r.BeforeCPU) / r.BeforeCPU
+}
+
+// String renders the finding.
+func (r *Regression) String() string {
+	return fmt.Sprintf("regression %.0f%%: %s (suspects: %d)", r.Change()*100, r.Normalized, len(r.SuspectIndexes))
+}
+
+// Observe ingests a finished window and returns regressions relative to the
+// previous window. db is used to attribute suspects (automation-created
+// indexes in the query's current plan).
+func (d *Detector) Observe(db *engine.DB, mon *workload.Monitor) []*Regression {
+	var found []*Regression
+	cur := map[string]float64{}
+	for _, q := range mon.Queries() {
+		if q.Executions < d.MinExecutions {
+			continue
+		}
+		cpu := q.CPUAvg()
+		cur[q.Normalized] = cpu
+		prev, seen := d.prev[q.Normalized]
+		if !seen || prev <= 0 {
+			continue
+		}
+		if (cpu-prev)/prev <= d.Threshold {
+			continue
+		}
+		reg := &Regression{Normalized: q.Normalized, BeforeCPU: prev, AfterCPU: cpu}
+		if sel, ok := q.Stmt.(*sqlparser.Select); ok {
+			if est, err := db.Optimizer.EstimateSelect(sel, nil); err == nil {
+				for _, u := range est.Used {
+					if u.Index != nil && u.Index.CreatedBy != "" && u.Index.CreatedBy != "dba" {
+						reg.SuspectIndexes = append(reg.SuspectIndexes, u.Index)
+					}
+				}
+			}
+		}
+		found = append(found, reg)
+	}
+	d.prev = cur
+	sort.Slice(found, func(i, j int) bool { return found[i].Change() > found[j].Change() })
+	return found
+}
+
+// Revert drops the suspect automation-created indexes of the given
+// regressions. It returns the dropped index names.
+func Revert(db *engine.DB, regs []*Regression) []string {
+	var dropped []string
+	seen := map[string]bool{}
+	for _, r := range regs {
+		for _, ix := range r.SuspectIndexes {
+			if seen[ix.Name] {
+				continue
+			}
+			seen[ix.Name] = true
+			if _, err := db.DropIndex(ix.Name); err == nil {
+				dropped = append(dropped, ix.Name)
+			}
+		}
+	}
+	if len(dropped) > 0 {
+		db.Analyze()
+	}
+	return dropped
+}

@@ -1,0 +1,117 @@
+package regression
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aim/internal/catalog"
+	"aim/internal/engine"
+	"aim/internal/exec"
+	"aim/internal/workload"
+)
+
+func fixture(t testing.TB) *engine.DB {
+	t.Helper()
+	db := engine.New("prod")
+	db.MustExec("CREATE TABLE t (id INT, a INT, b INT, PRIMARY KEY (id))")
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d, %d)", i, r.Intn(50), r.Intn(50)))
+	}
+	db.Analyze()
+	return db
+}
+
+func window(t testing.TB, cpuPerExec float64, execs int) *workload.Monitor {
+	t.Helper()
+	mon := workload.NewMonitor()
+	for i := 0; i < execs; i++ {
+		// Synthesize stats with the desired CPU: page reads dominate.
+		pages := int64(cpuPerExec / exec.CostPageRead)
+		if err := mon.Record("SELECT b FROM t WHERE a = 5", exec.Stats{PageReads: pages, RowsRead: 10, RowsSent: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mon
+}
+
+func TestDetectorFlagsRegression(t *testing.T) {
+	db := fixture(t)
+	d := NewDetector(0.3)
+	if regs := d.Observe(db, window(t, 0.001, 10)); len(regs) != 0 {
+		t.Fatalf("first window flagged: %v", regs)
+	}
+	// Second window: 3x the CPU.
+	regs := d.Observe(db, window(t, 0.003, 10))
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %d", len(regs))
+	}
+	if regs[0].Change() < 1.5 {
+		t.Errorf("change = %v", regs[0].Change())
+	}
+	if regs[0].String() == "" {
+		t.Error("empty description")
+	}
+}
+
+func TestDetectorIgnoresSmallChangesAndRareQueries(t *testing.T) {
+	db := fixture(t)
+	d := NewDetector(0.5)
+	d.Observe(db, window(t, 0.001, 10))
+	// +20% is below the 50% threshold.
+	if regs := d.Observe(db, window(t, 0.0012, 10)); len(regs) != 0 {
+		t.Fatalf("small change flagged: %v", regs)
+	}
+	// Rare queries (1 exec < MinExecutions) are ignored.
+	d2 := NewDetector(0.1)
+	d2.Observe(db, window(t, 0.001, 1))
+	if regs := d2.Observe(db, window(t, 0.01, 1)); len(regs) != 0 {
+		t.Fatal("rare query flagged")
+	}
+}
+
+func TestDetectorAttributesAutomationIndexes(t *testing.T) {
+	db := fixture(t)
+	// An automation-created index that the query's plan will use.
+	if _, err := db.CreateIndex(&catalog.Index{Name: "aim_t_a", Table: "t", Columns: []string{"a"}, CreatedBy: "aim"}); err != nil {
+		t.Fatal(err)
+	}
+	db.Analyze()
+	d := NewDetector(0.3)
+	d.Observe(db, window(t, 0.001, 10))
+	regs := d.Observe(db, window(t, 0.01, 10))
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %d", len(regs))
+	}
+	if len(regs[0].SuspectIndexes) != 1 || regs[0].SuspectIndexes[0].Name != "aim_t_a" {
+		t.Fatalf("suspects = %v", regs[0].SuspectIndexes)
+	}
+	dropped := Revert(db, regs)
+	if len(dropped) != 1 || dropped[0] != "aim_t_a" {
+		t.Fatalf("dropped = %v", dropped)
+	}
+	if db.Schema.Index("aim_t_a") != nil {
+		t.Fatal("revert did not drop index")
+	}
+}
+
+func TestDetectorDoesNotSuspectDBAIndexes(t *testing.T) {
+	db := fixture(t)
+	if _, err := db.CreateIndex(&catalog.Index{Name: "dba_t_a", Table: "t", Columns: []string{"a"}, CreatedBy: "dba"}); err != nil {
+		t.Fatal(err)
+	}
+	db.Analyze()
+	d := NewDetector(0.3)
+	d.Observe(db, window(t, 0.001, 10))
+	regs := d.Observe(db, window(t, 0.01, 10))
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %d", len(regs))
+	}
+	if len(regs[0].SuspectIndexes) != 0 {
+		t.Fatal("DBA index suspected")
+	}
+	if dropped := Revert(db, regs); len(dropped) != 0 {
+		t.Fatal("DBA index reverted")
+	}
+}

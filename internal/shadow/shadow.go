@@ -1,0 +1,164 @@
+// Package shadow is the MyShadow analogue (§VII-B): it materializes a
+// recommendation on a logical clone of the database, replays the observed
+// workload against both the old and new configuration, and enforces the
+// continuous-tuning guarantees of Eq. 2-4 — overall improvement, at least
+// one query improved by λ₂, and no query regressed by more than λ₃ — before
+// anything touches production.
+package shadow
+
+import (
+	"fmt"
+
+	"aim/internal/catalog"
+	"aim/internal/engine"
+	"aim/internal/sqlparser"
+	"aim/internal/sqltypes"
+	"aim/internal/workload"
+)
+
+// Gate holds the λ parameters of the continuous index tuning problem
+// (§II-B). All are fractions in [0, 1).
+type Gate struct {
+	// Lambda1 bounds overall cost increase versus the candidate config.
+	Lambda1 float64
+	// Lambda2 is the minimum relative improvement required for at least
+	// one query (Eq. 3).
+	Lambda2 float64
+	// Lambda3 is the maximum tolerated per-query regression (Eq. 4).
+	Lambda3 float64
+	// MinReplays is how many parameter samples to replay per query.
+	MinReplays int
+}
+
+// DefaultGate uses mild thresholds suitable for the synthetic workloads.
+func DefaultGate() Gate {
+	return Gate{Lambda1: 0.1, Lambda2: 0.05, Lambda3: 0.25, MinReplays: 3}
+}
+
+// QueryOutcome is the before/after comparison for one normalized query.
+type QueryOutcome struct {
+	Normalized string
+	Executions int64 // weight used for the overall aggregate
+	BeforeCPU  float64
+	AfterCPU   float64
+}
+
+// Change returns the relative CPU delta (negative = improvement).
+func (o *QueryOutcome) Change() float64 {
+	if o.BeforeCPU == 0 {
+		return 0
+	}
+	return (o.AfterCPU - o.BeforeCPU) / o.BeforeCPU
+}
+
+// Report is the verdict of one validation run.
+type Report struct {
+	Accepted  bool
+	Reason    string
+	Outcomes  []QueryOutcome
+	TotalGain float64 // weighted CPU seconds saved per window
+	// AcceptedIndexes are the indexes that survive validation (currently
+	// all-or-nothing, like the paper's per-database gate).
+	AcceptedIndexes []*catalog.Index
+}
+
+// Validate clones the database, materializes the candidate indexes on the
+// clone, replays the workload on both configurations, and applies the gate.
+func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor, gate Gate) (*Report, error) {
+	if len(candidates) == 0 {
+		return &Report{Accepted: false, Reason: "no candidate indexes"}, nil
+	}
+	baseline := db.Clone("shadow-baseline")
+	test := db.Clone("shadow-test")
+	for _, ix := range candidates {
+		def := *ix
+		def.Columns = append([]string(nil), ix.Columns...)
+		def.Hypothetical = false
+		if _, err := test.CreateIndex(&def); err != nil {
+			return nil, fmt.Errorf("shadow: materializing %s: %v", ix.Name, err)
+		}
+	}
+	test.Analyze()
+
+	rep := &Report{}
+	improvedOne := false
+	var totalBefore, totalAfter float64
+	for _, q := range mon.Queries() {
+		before, after, err := replayQuery(baseline, test, q, gate.MinReplays)
+		if err != nil {
+			// Queries that cannot be replayed (e.g. dropped tables) are
+			// skipped rather than failing the whole validation.
+			continue
+		}
+		out := QueryOutcome{
+			Normalized: q.Normalized,
+			Executions: q.Executions,
+			BeforeCPU:  before,
+			AfterCPU:   after,
+		}
+		rep.Outcomes = append(rep.Outcomes, out)
+		w := float64(q.Executions)
+		totalBefore += before * w
+		totalAfter += after * w
+		if before > 0 && (before-after)/before >= gate.Lambda2 {
+			improvedOne = true
+		}
+	}
+	rep.TotalGain = totalBefore - totalAfter
+
+	// Eq. 4: no individual regression beyond λ₃.
+	for _, out := range rep.Outcomes {
+		if out.BeforeCPU > 0 && out.Change() > gate.Lambda3 {
+			rep.Reason = fmt.Sprintf("query regressed %.1f%% > λ₃: %s", out.Change()*100, out.Normalized)
+			return rep, nil
+		}
+	}
+	// Eq. 3: at least one query improved by λ₂.
+	if !improvedOne {
+		rep.Reason = "no query improved by λ₂"
+		return rep, nil
+	}
+	// Eq. 2 (approximated): the overall cost must not increase by more
+	// than λ₁ relative to the candidate configuration's promise.
+	if totalBefore > 0 && totalAfter > totalBefore*(1+gate.Lambda1) {
+		rep.Reason = "overall cost regressed beyond λ₁"
+		return rep, nil
+	}
+	rep.Accepted = true
+	rep.Reason = "accepted"
+	rep.AcceptedIndexes = candidates
+	return rep, nil
+}
+
+// replayQuery executes the query's sampled parameterizations on both clones
+// and returns average CPU seconds per execution for each.
+func replayQuery(baseline, test *engine.DB, q *workload.QueryStats, minReplays int) (before, after float64, err error) {
+	params := q.SampleParams
+	if len(params) == 0 {
+		params = [][]sqltypes.Value{nil}
+	}
+	if minReplays > 0 && len(params) > minReplays {
+		params = params[:minReplays]
+	}
+	n := 0
+	for _, p := range params {
+		stmt, err := sqlparser.Bind(q.Stmt, p)
+		if err != nil {
+			continue
+		}
+		// DML must not change clone contents between replays in a way that
+		// breaks comparability; replay on both sides keeps them in step.
+		resB, errB := baseline.ExecStmt(stmt)
+		resT, errT := test.ExecStmt(stmt)
+		if errB != nil || errT != nil {
+			continue
+		}
+		before += resB.Stats.CPUSeconds()
+		after += resT.Stats.CPUSeconds()
+		n++
+	}
+	if n == 0 {
+		return 0, 0, fmt.Errorf("shadow: no replayable samples for %s", q.Normalized)
+	}
+	return before / float64(n), after / float64(n), nil
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aim/internal/catalog"
+	"aim/internal/engine"
+)
+
+func machineFixture(t testing.TB, capacity float64) *Machine {
+	t.Helper()
+	db := engine.New("m")
+	db.MustExec("CREATE TABLE t (id INT, a INT, b INT, PRIMARY KEY (id))")
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d, %d)", i, r.Intn(50), r.Intn(100)))
+	}
+	db.Analyze()
+	sampler := func(r *rand.Rand) string {
+		return fmt.Sprintf("SELECT b FROM t WHERE a = %d", r.Intn(50))
+	}
+	return NewMachine(db, sampler, 20, capacity, 7)
+}
+
+func TestRunTickRecordsWork(t *testing.T) {
+	m := machineFixture(t, 1.0)
+	tick := m.RunTick(0)
+	if tick.CPUPercent <= 0 || tick.CPUPercent > 100 {
+		t.Fatalf("cpu%% = %v", tick.CPUPercent)
+	}
+	if tick.Throughput != 20 {
+		t.Fatalf("throughput = %v (under capacity everything completes)", tick.Throughput)
+	}
+	if m.Monitor.Len() == 0 {
+		t.Fatal("monitor not recording")
+	}
+}
+
+func TestOverloadSaturates(t *testing.T) {
+	m := machineFixture(t, 0.0001) // tiny capacity
+	tick := m.RunTick(0)
+	if tick.CPUPercent != 100 {
+		t.Fatalf("cpu%% = %v, want saturation", tick.CPUPercent)
+	}
+	if tick.Throughput >= 20 {
+		t.Fatalf("throughput = %v, want degraded", tick.Throughput)
+	}
+}
+
+func TestIndexBuildImprovesTicks(t *testing.T) {
+	m := machineFixture(t, 1.0)
+	before := m.RunTick(0)
+	event, err := m.BuildIndex(&catalog.Index{Name: "ia", Table: "t", Columns: []string{"a"}, Hypothetical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if event == "" {
+		t.Fatal("no event")
+	}
+	after := m.RunTick(1)
+	if after.CPUPercent >= before.CPUPercent {
+		t.Fatalf("cpu%% did not drop: %v -> %v", before.CPUPercent, after.CPUPercent)
+	}
+}
+
+func TestSeriesAverages(t *testing.T) {
+	s := Series{Label: "x", Ticks: []Tick{
+		{CPUPercent: 10, Throughput: 1},
+		{CPUPercent: 20, Throughput: 2},
+		{CPUPercent: 30, Throughput: 3},
+	}}
+	if got := s.AvgCPU(0); got != 20 {
+		t.Errorf("avg all = %v", got)
+	}
+	if got := s.AvgCPU(2); got != 25 {
+		t.Errorf("avg last 2 = %v", got)
+	}
+	if got := s.AvgThroughput(1); got != 3 {
+		t.Errorf("tput last = %v", got)
+	}
+	empty := Series{}
+	if empty.AvgCPU(0) != 0 {
+		t.Error("empty series")
+	}
+}
+
+func TestErrorsCounted(t *testing.T) {
+	m := machineFixture(t, 1.0)
+	m.Sample = func(r *rand.Rand) string { return "SELECT nope FROM missing" }
+	tick := m.RunTick(0)
+	if tick.Errors != 20 || tick.Throughput != 0 {
+		t.Fatalf("tick = %+v", tick)
+	}
+}

@@ -1,0 +1,197 @@
+// Package sqlparser implements a lexer and recursive-descent parser for the
+// SQL dialect used throughout this repository, plus query normalization
+// (parameterization) as defined in §III-A1 of the AIM paper.
+//
+// The dialect covers the statement shapes AIM reasons about: SELECT with
+// joins, complex AND/OR filters, GROUP BY, ORDER BY and LIMIT; the DML
+// statements INSERT/UPDATE/DELETE; and the DDL statements CREATE TABLE,
+// CREATE INDEX and DROP INDEX.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokPlaceholder // ?
+	tokOp          // operators and punctuation
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; identifiers as written
+	pos  int
+}
+
+// keywords recognized by the lexer. Identifiers matching these (case
+// insensitive) are produced as tokKeyword with upper-cased text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "ASC": true, "DESC": true, "AND": true,
+	"OR": true, "NOT": true, "IN": true, "BETWEEN": true, "LIKE": true,
+	"IS": true, "NULL": true, "TRUE": true, "FALSE": true, "AS": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "ON": true, "DISTINCT": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "CREATE": true, "TABLE": true, "INDEX": true, "DROP": true,
+	"PRIMARY": true, "KEY": true, "OFFSET": true, "STRAIGHT_JOIN": true,
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...interface{}) error {
+	return fmt.Errorf("sql: %s at offset %d", fmt.Sprintf(format, args...), pos)
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '?':
+		l.pos++
+		return token{kind: tokPlaceholder, text: "?", pos: start}, nil
+	case c == '\'':
+		return l.lexString()
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		return l.lexNumber()
+	case isIdentStart(c):
+		return l.lexIdent()
+	default:
+		return l.lexOp()
+	}
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, l.errf(start, "unterminated string literal")
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	kind := tokInt
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		kind = tokFloat
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		kind = tokFloat
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos >= len(l.src) || !isDigit(l.src[l.pos]) {
+			return token{}, l.errf(start, "malformed exponent")
+		}
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	return token{kind: kind, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func (l *lexer) lexIdent() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if keywords[strings.ToUpper(text)] {
+		return token{kind: tokKeyword, text: strings.ToUpper(text), pos: start}, nil
+	}
+	return token{kind: tokIdent, text: text, pos: start}, nil
+}
+
+func (l *lexer) lexOp() (token, error) {
+	start := l.pos
+	two := ""
+	if l.pos+2 <= len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "!=", "<>", "<=>":
+	}
+	if l.pos+3 <= len(l.src) && l.src[l.pos:l.pos+3] == "<=>" {
+		l.pos += 3
+		return token{kind: tokOp, text: "<=>", pos: start}, nil
+	}
+	switch two {
+	case "<=", ">=", "!=", "<>":
+		l.pos += 2
+		t := two
+		if t == "<>" {
+			t = "!="
+		}
+		return token{kind: tokOp, text: t, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '=', '<', '>', '(', ')', ',', '*', '+', '-', '/', '.', ';', '%':
+		l.pos++
+		return token{kind: tokOp, text: string(c), pos: start}, nil
+	}
+	return token{}, l.errf(start, "unexpected character %q", rune(c))
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := &lexer{src: src}
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

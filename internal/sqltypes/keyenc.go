@@ -1,0 +1,140 @@
+package sqltypes
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Key encoding produces a binary string whose bytewise (memcmp) order equals
+// the Compare order of the encoded values. It is used as the B+tree key for
+// both clustered tables and secondary indexes, so that multi-column range
+// scans reduce to contiguous byte ranges.
+//
+// Layout per value: a 1-byte tag followed by a kind-specific payload.
+//
+//	0x00           NULL (no payload)
+//	0x01           numeric: 8-byte order-preserving encoding of float64
+//	0x02           string/bytes: escaped payload terminated by 0x00 0x01
+//
+// All numeric kinds (INT, FLOAT, BOOL) share the numeric tag so that mixed
+// comparisons order identically to Compare. Integers up to 2^53 round-trip
+// exactly through float64; larger magnitudes lose low bits in the encoded
+// ordering, which matches compareNumeric's float path and is acceptable for
+// the synthetic datasets used here.
+
+const (
+	tagNull   byte = 0x00
+	tagNum    byte = 0x01
+	tagString byte = 0x02
+)
+
+// EncodeKey appends the order-preserving encoding of vals to dst.
+func EncodeKey(dst []byte, vals ...Value) []byte {
+	for _, v := range vals {
+		dst = encodeOne(dst, v)
+	}
+	return dst
+}
+
+func encodeOne(dst []byte, v Value) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, tagNull)
+	case KindInt, KindFloat, KindBool:
+		dst = append(dst, tagNum)
+		return encodeFloatOrdered(dst, v.Float())
+	default:
+		dst = append(dst, tagString)
+		return encodeStringOrdered(dst, v.s)
+	}
+}
+
+// encodeFloatOrdered encodes f such that bytewise order equals numeric order.
+func encodeFloatOrdered(dst []byte, f float64) []byte {
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		bits = ^bits // negative: flip all bits
+	} else {
+		bits |= 1 << 63 // non-negative: flip the sign bit
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], bits)
+	return append(dst, buf[:]...)
+}
+
+// encodeStringOrdered escapes 0x00 bytes as 0x00 0xFF and terminates the
+// payload with 0x00 0x01, preserving prefix ordering.
+func encodeStringOrdered(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == 0x00 {
+			dst = append(dst, 0x00, 0xFF)
+		} else {
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, 0x00, 0x01)
+}
+
+// DecodeKey decodes n values previously written by EncodeKey. It returns the
+// decoded values and the remaining bytes. String and bytes values both decode
+// as KindString; integral floats decode as KindInt (consistent with
+// Float64ToValue), which is sufficient for index-only (covering) reads of the
+// synthetic data in this repository.
+func DecodeKey(src []byte, n int) ([]Value, []byte, error) {
+	out := make([]Value, 0, n)
+	for i := 0; i < n; i++ {
+		if len(src) == 0 {
+			return nil, nil, fmt.Errorf("sqltypes: truncated key, want %d values got %d", n, i)
+		}
+		tag := src[0]
+		src = src[1:]
+		switch tag {
+		case tagNull:
+			out = append(out, Null)
+		case tagNum:
+			if len(src) < 8 {
+				return nil, nil, fmt.Errorf("sqltypes: truncated numeric payload")
+			}
+			bits := binary.BigEndian.Uint64(src[:8])
+			src = src[8:]
+			if bits&(1<<63) != 0 {
+				bits &^= 1 << 63
+			} else {
+				bits = ^bits
+			}
+			out = append(out, Float64ToValue(math.Float64frombits(bits)))
+		case tagString:
+			var b []byte
+			for {
+				if len(src) < 2 && !(len(src) >= 1 && src[0] != 0x00) {
+					return nil, nil, fmt.Errorf("sqltypes: truncated string payload")
+				}
+				c := src[0]
+				if c != 0x00 {
+					b = append(b, c)
+					src = src[1:]
+					continue
+				}
+				if len(src) < 2 {
+					return nil, nil, fmt.Errorf("sqltypes: truncated string terminator")
+				}
+				next := src[1]
+				src = src[2:]
+				if next == 0x01 { // terminator
+					break
+				}
+				if next == 0xFF {
+					b = append(b, 0x00)
+					continue
+				}
+				return nil, nil, fmt.Errorf("sqltypes: bad string escape 0x00 0x%02x", next)
+			}
+			out = append(out, NewString(string(b)))
+		default:
+			return nil, nil, fmt.Errorf("sqltypes: unknown key tag 0x%02x", tag)
+		}
+	}
+	return out, src, nil
+}

@@ -1,0 +1,243 @@
+// Package sqltypes defines the dynamically typed values that flow through
+// the storage engine, executor and optimizer, together with total ordering
+// and an order-preserving binary key encoding used by B+tree indexes.
+package sqltypes
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+// Supported value kinds. KindNull sorts before every other value, matching
+// the behaviour of NULLS FIRST index ordering in MySQL.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBytes
+	KindBool
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	case KindBytes:
+		return "BYTES"
+	case KindBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewInt returns an integer value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a floating point value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewString returns a string value.
+func NewString(v string) Value { return Value{kind: KindString, s: v} }
+
+// NewBytes returns a binary string value.
+func NewBytes(v []byte) Value { return Value{kind: KindBytes, s: string(v)} }
+
+// NewBool returns a boolean value.
+func NewBool(v bool) Value {
+	if v {
+		return Value{kind: KindBool, i: 1}
+	}
+	return Value{kind: KindBool, i: 0}
+}
+
+// Kind reports the runtime kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the integer payload. It is only meaningful for KindInt and
+// KindBool values.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the value as a float64, converting integers and booleans.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt, KindBool:
+		return float64(v.i)
+	default:
+		return 0
+	}
+}
+
+// Str returns the string payload for KindString and KindBytes values.
+func (v Value) Str() string { return v.s }
+
+// Bool returns the value interpreted as a boolean.
+func (v Value) Bool() bool {
+	switch v.kind {
+	case KindBool, KindInt:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	case KindString, KindBytes:
+		return v.s != ""
+	default:
+		return false
+	}
+}
+
+// IsNumeric reports whether v is an INT, FLOAT or BOOL value.
+func (v Value) IsNumeric() bool {
+	return v.kind == KindInt || v.kind == KindFloat || v.kind == KindBool
+}
+
+// String renders the value for display and query normalization.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	case KindBytes:
+		return fmt.Sprintf("x'%x'", v.s)
+	case KindBool:
+		if v.i != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return "?"
+	}
+}
+
+// Compare totally orders two values: NULL < numbers < strings/bytes.
+// Numeric kinds compare by numeric value; INT/FLOAT cross-compare exactly.
+// It returns -1, 0 or +1.
+func Compare(a, b Value) int {
+	ar, br := rank(a.kind), rank(b.kind)
+	if ar != br {
+		if ar < br {
+			return -1
+		}
+		return 1
+	}
+	switch ar {
+	case 0: // both NULL
+		return 0
+	case 1: // numeric
+		return compareNumeric(a, b)
+	default: // string-ish
+		return strings.Compare(a.s, b.s)
+	}
+}
+
+// rank groups kinds into comparison families.
+func rank(k Kind) int {
+	switch k {
+	case KindNull:
+		return 0
+	case KindInt, KindFloat, KindBool:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func compareNumeric(a, b Value) int {
+	if a.kind == KindFloat || b.kind == KindFloat {
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	switch {
+	case a.i < b.i:
+		return -1
+	case a.i > b.i:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values compare equal.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Row is a tuple of values.
+type Row []Value
+
+// Clone returns a deep copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Size returns an approximate in-memory footprint of the row in bytes,
+// used for storage accounting.
+func (r Row) Size() int {
+	n := 0
+	for _, v := range r {
+		n += v.StorageSize()
+	}
+	return n
+}
+
+// StorageSize approximates the stored footprint of a single value in bytes.
+func (v Value) StorageSize() int {
+	switch v.kind {
+	case KindNull:
+		return 1
+	case KindInt, KindFloat:
+		return 8
+	case KindBool:
+		return 1
+	default:
+		return 2 + len(v.s)
+	}
+}
+
+// Float64ToValue converts a float that may hold an integral value back to
+// the narrowest numeric Value.
+func Float64ToValue(f float64) Value {
+	if f == math.Trunc(f) && math.Abs(f) < 1<<53 {
+		return NewInt(int64(f))
+	}
+	return NewFloat(f)
+}

@@ -1,0 +1,325 @@
+// Package storage implements the row store: clustered primary-key tables
+// backed by B+trees, secondary indexes maintained on every DML, and
+// page/row-level accounting used by the cost model and workload monitor.
+//
+// A secondary index entry is keyed by enc(index columns..., primary key
+// columns...) so that duplicate index-column values remain unique, exactly
+// like InnoDB secondary indexes; the entry value is the primary-key encoding
+// used for the back-lookup into the clustered tree.
+package storage
+
+import (
+	"fmt"
+	"strings"
+
+	"aim/internal/btree"
+	"aim/internal/catalog"
+	"aim/internal/sqltypes"
+)
+
+// Metrics accumulates physical work done by storage operations. The
+// executor aggregates these into per-query execution statistics.
+type Metrics struct {
+	RowsRead    int64 // rows fetched from base tables or index entries visited
+	PageReads   int64 // B+tree pages touched (descents + leaves walked)
+	IndexWrites int64 // secondary index entry mutations
+	RowWrites   int64 // base row mutations
+}
+
+// Add accumulates other into m.
+func (m *Metrics) Add(other Metrics) {
+	m.RowsRead += other.RowsRead
+	m.PageReads += other.PageReads
+	m.IndexWrites += other.IndexWrites
+	m.RowWrites += other.RowWrites
+}
+
+// Index is a materialized secondary index.
+type Index struct {
+	Def      *catalog.Index
+	tree     *btree.Tree
+	ordinals []int // table column ordinals of the key columns
+	pkOrds   []int
+	bytes    int64
+}
+
+// Tree exposes the underlying B+tree for scans.
+func (ix *Index) Tree() *btree.Tree { return ix.tree }
+
+// Ordinals returns the table column ordinals of the index key columns.
+func (ix *Index) Ordinals() []int { return ix.ordinals }
+
+// SizeBytes returns the approximate materialized size of the index.
+func (ix *Index) SizeBytes() int64 { return ix.bytes }
+
+// Len returns the number of entries.
+func (ix *Index) Len() int { return ix.tree.Len() }
+
+// entryKey builds the full index entry key for a row.
+func (ix *Index) entryKey(row sqltypes.Row) []byte {
+	vals := make([]sqltypes.Value, 0, len(ix.ordinals)+len(ix.pkOrds))
+	for _, o := range ix.ordinals {
+		vals = append(vals, row[o])
+	}
+	for _, o := range ix.pkOrds {
+		vals = append(vals, row[o])
+	}
+	return sqltypes.EncodeKey(nil, vals...)
+}
+
+func (ix *Index) entrySize(row sqltypes.Row) int64 {
+	n := 0
+	for _, o := range ix.ordinals {
+		n += row[o].StorageSize()
+	}
+	for _, o := range ix.pkOrds {
+		n += row[o].StorageSize() * 2 // key suffix + value payload
+	}
+	return int64(n) + 16 // per-entry overhead
+}
+
+// Table is a clustered table plus its materialized secondary indexes.
+type Table struct {
+	Def     *catalog.Table
+	data    *btree.Tree // pk key -> sqltypes.Row
+	indexes map[string]*Index
+	bytes   int64
+}
+
+// NewTable creates an empty table for the definition.
+func NewTable(def *catalog.Table) *Table {
+	return &Table{Def: def, data: btree.New(), indexes: map[string]*Index{}}
+}
+
+// Data exposes the clustered tree for scans.
+func (t *Table) Data() *btree.Tree { return t.data }
+
+// RowCount returns the number of rows.
+func (t *Table) RowCount() int { return t.data.Len() }
+
+// DataSize returns the approximate clustered data size in bytes.
+func (t *Table) DataSize() int64 { return t.bytes }
+
+// Indexes returns the materialized secondary indexes keyed by lower-cased
+// index name.
+func (t *Table) Indexes() map[string]*Index { return t.indexes }
+
+// Index returns the named materialized index, or nil.
+func (t *Table) Index(name string) *Index { return t.indexes[strings.ToLower(name)] }
+
+// PKKey builds the clustered key for a full row.
+func (t *Table) PKKey(row sqltypes.Row) []byte {
+	vals := make([]sqltypes.Value, len(t.Def.PrimaryKey))
+	for i, o := range t.Def.PrimaryKey {
+		vals[i] = row[o]
+	}
+	return sqltypes.EncodeKey(nil, vals...)
+}
+
+// Insert adds a row, maintaining every secondary index. It fails on
+// duplicate primary keys or column-count mismatch.
+func (t *Table) Insert(row sqltypes.Row, m *Metrics) error {
+	if len(row) != len(t.Def.Columns) {
+		return fmt.Errorf("storage: table %s expects %d columns, got %d", t.Def.Name, len(t.Def.Columns), len(row))
+	}
+	key := t.PKKey(row)
+	if _, exists := t.data.Get(key); exists {
+		return fmt.Errorf("storage: duplicate primary key in table %s", t.Def.Name)
+	}
+	stored := row.Clone()
+	t.data.Put(key, stored)
+	t.bytes += int64(stored.Size()) + 16
+	if m != nil {
+		m.RowWrites++
+		m.PageReads += int64(t.data.Height())
+	}
+	for _, ix := range t.indexes {
+		ix.tree.Put(ix.entryKey(stored), key)
+		ix.bytes += ix.entrySize(stored)
+		if m != nil {
+			m.IndexWrites++
+			m.PageReads += int64(ix.tree.Height())
+		}
+	}
+	return nil
+}
+
+// GetByPK fetches the row with the given encoded primary key.
+func (t *Table) GetByPK(key []byte, m *Metrics) (sqltypes.Row, bool) {
+	if m != nil {
+		m.PageReads += int64(t.data.Height())
+	}
+	v, ok := t.data.Get(key)
+	if !ok {
+		return nil, false
+	}
+	if m != nil {
+		m.RowsRead++
+	}
+	return v.(sqltypes.Row), true
+}
+
+// DeleteByPK removes the row with the given encoded primary key, updating
+// all secondary indexes. It reports whether a row was removed.
+func (t *Table) DeleteByPK(key []byte, m *Metrics) bool {
+	v, ok := t.data.Get(key)
+	if !ok {
+		return false
+	}
+	row := v.(sqltypes.Row)
+	t.data.Delete(key)
+	t.bytes -= int64(row.Size()) + 16
+	if m != nil {
+		m.RowWrites++
+		m.PageReads += int64(t.data.Height())
+	}
+	for _, ix := range t.indexes {
+		ix.tree.Delete(ix.entryKey(row))
+		ix.bytes -= ix.entrySize(row)
+		if m != nil {
+			m.IndexWrites++
+			m.PageReads += int64(ix.tree.Height())
+		}
+	}
+	return true
+}
+
+// Update replaces the row stored under key with newRow (which may change
+// primary key columns), maintaining secondary indexes. Index entries are
+// only rewritten when their key columns changed.
+func (t *Table) Update(key []byte, newRow sqltypes.Row, m *Metrics) error {
+	v, ok := t.data.Get(key)
+	if !ok {
+		return fmt.Errorf("storage: update of missing row in table %s", t.Def.Name)
+	}
+	oldRow := v.(sqltypes.Row)
+	newKey := t.PKKey(newRow)
+	stored := newRow.Clone()
+	if string(newKey) != string(key) {
+		if _, exists := t.data.Get(newKey); exists {
+			return fmt.Errorf("storage: duplicate primary key on update in table %s", t.Def.Name)
+		}
+		t.data.Delete(key)
+	}
+	t.data.Put(newKey, stored)
+	t.bytes += int64(stored.Size()) - int64(oldRow.Size())
+	if m != nil {
+		m.RowWrites++
+		m.PageReads += int64(t.data.Height())
+	}
+	for _, ix := range t.indexes {
+		oldEntry := ix.entryKey(oldRow)
+		newEntry := ix.entryKey(stored)
+		if string(oldEntry) == string(newEntry) {
+			continue
+		}
+		ix.tree.Delete(oldEntry)
+		ix.tree.Put(newEntry, newKey)
+		ix.bytes += ix.entrySize(stored) - ix.entrySize(oldRow)
+		if m != nil {
+			m.IndexWrites++
+			m.PageReads += int64(ix.tree.Height())
+		}
+	}
+	return nil
+}
+
+// BuildIndex materializes a new secondary index over the current table
+// contents. The definition must reference only existing columns.
+func (t *Table) BuildIndex(def *catalog.Index, m *Metrics) (*Index, error) {
+	lower := strings.ToLower(def.Name)
+	if _, dup := t.indexes[lower]; dup {
+		return nil, fmt.Errorf("storage: index %q already materialized", def.Name)
+	}
+	ix := &Index{Def: def, tree: btree.New(), pkOrds: t.Def.PrimaryKey}
+	for _, c := range def.Columns {
+		o := t.Def.ColumnIndex(c)
+		if o < 0 {
+			return nil, fmt.Errorf("storage: index %q references unknown column %q", def.Name, c)
+		}
+		ix.ordinals = append(ix.ordinals, o)
+	}
+	for it := t.data.Seek(nil); it.Valid(); it.Next() {
+		row := it.Value().(sqltypes.Row)
+		key := append([]byte(nil), it.Key()...)
+		ix.tree.Put(ix.entryKey(row), key)
+		ix.bytes += ix.entrySize(row)
+		if m != nil {
+			m.RowsRead++
+			m.IndexWrites++
+		}
+	}
+	if m != nil {
+		m.PageReads += int64(t.data.Leaves() + ix.tree.Leaves())
+	}
+	t.indexes[lower] = ix
+	return ix, nil
+}
+
+// DropIndex removes a materialized index and reports whether it existed.
+func (t *Table) DropIndex(name string) bool {
+	lower := strings.ToLower(name)
+	if _, ok := t.indexes[lower]; !ok {
+		return false
+	}
+	delete(t.indexes, lower)
+	return true
+}
+
+// Store is a collection of tables keyed by lower-cased name.
+type Store struct {
+	tables map[string]*Table
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{tables: map[string]*Table{}} }
+
+// CreateTable adds an empty table for def.
+func (s *Store) CreateTable(def *catalog.Table) (*Table, error) {
+	key := strings.ToLower(def.Name)
+	if _, dup := s.tables[key]; dup {
+		return nil, fmt.Errorf("storage: table %q already exists", def.Name)
+	}
+	t := NewTable(def)
+	s.tables[key] = t
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (s *Store) Table(name string) *Table { return s.tables[strings.ToLower(name)] }
+
+// TotalIndexBytes sums the size of all materialized secondary indexes.
+func (s *Store) TotalIndexBytes() int64 {
+	var n int64
+	for _, t := range s.tables {
+		for _, ix := range t.indexes {
+			n += ix.bytes
+		}
+	}
+	return n
+}
+
+// Clone produces a deep logical copy of the store: rows are shared (they
+// are treated as immutable once stored — all mutations replace rows), trees
+// are rebuilt. This is the substrate for the MyShadow clone environment.
+func (s *Store) Clone() *Store {
+	out := NewStore()
+	for name, t := range s.tables {
+		nt := NewTable(t.Def)
+		for it := t.data.Seek(nil); it.Valid(); it.Next() {
+			nt.data.Put(it.Key(), it.Value())
+		}
+		nt.bytes = t.bytes
+		for iname, ix := range t.indexes {
+			def := *ix.Def
+			def.Columns = append([]string(nil), ix.Def.Columns...)
+			nix := &Index{Def: &def, tree: btree.New(), ordinals: append([]int(nil), ix.ordinals...), pkOrds: ix.pkOrds, bytes: ix.bytes}
+			for it := ix.tree.Seek(nil); it.Valid(); it.Next() {
+				nix.tree.Put(it.Key(), it.Value())
+			}
+			nt.indexes[iname] = nix
+		}
+		out.tables[name] = nt
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"aim/internal/sqlparser"
+	"aim/internal/sqltypes"
+)
+
+// Snapshot is the wire format of a monitor window, modelling the §VII-A
+// export pipeline: per-replica daemons serialize their windows and ship
+// them to the warehouse, where they are merged into the fleet view.
+type Snapshot struct {
+	Queries []QuerySnapshot `json:"queries"`
+}
+
+// QuerySnapshot serializes one normalized query's statistics. Parameter
+// samples travel as rendered SQL literals so the snapshot is engine- and
+// version-agnostic.
+type QuerySnapshot struct {
+	Normalized   string     `json:"normalized"`
+	Weight       float64    `json:"weight,omitempty"`
+	Executions   int64      `json:"executions"`
+	CPUSeconds   float64    `json:"cpu_seconds"`
+	RowsRead     int64      `json:"rows_read"`
+	RowsSent     int64      `json:"rows_sent"`
+	SampleParams [][]string `json:"sample_params,omitempty"`
+}
+
+// Export writes the monitor's current window as JSON.
+func (m *Monitor) Export(w io.Writer) error {
+	snap := Snapshot{}
+	for _, q := range m.Queries() {
+		qs := QuerySnapshot{
+			Normalized: q.Normalized,
+			Weight:     q.Weight,
+			Executions: q.Executions,
+			CPUSeconds: q.CPUSeconds,
+			RowsRead:   q.RowsRead,
+			RowsSent:   q.RowsSent,
+		}
+		for _, params := range q.SampleParams {
+			row := make([]string, len(params))
+			for i, v := range params {
+				row[i] = v.String()
+			}
+			qs.SampleParams = append(qs.SampleParams, row)
+		}
+		snap.Queries = append(snap.Queries, qs)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Import reads a snapshot and merges it into the monitor (additive, so
+// several replica snapshots can be imported into one fleet monitor).
+func (m *Monitor) Import(r io.Reader) error {
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("workload: decoding snapshot: %v", err)
+	}
+	for _, qs := range snap.Queries {
+		stmt, err := sqlparser.Parse(qs.Normalized)
+		if err != nil {
+			return fmt.Errorf("workload: snapshot query %q: %v", qs.Normalized, err)
+		}
+		q := m.queries[qs.Normalized]
+		if q == nil {
+			q = &QueryStats{Normalized: qs.Normalized, Stmt: stmt}
+			m.queries[qs.Normalized] = q
+		}
+		q.Executions += qs.Executions
+		q.CPUSeconds += qs.CPUSeconds
+		q.RowsRead += qs.RowsRead
+		q.RowsSent += qs.RowsSent
+		if qs.Weight != 0 {
+			q.Weight = qs.Weight
+		}
+		for _, row := range qs.SampleParams {
+			if len(q.SampleParams) >= sampleParamsKeep {
+				break
+			}
+			params, err := parseParamRow(row)
+			if err != nil {
+				return err
+			}
+			q.SampleParams = append(q.SampleParams, params)
+		}
+	}
+	return nil
+}
+
+// parseParamRow decodes SQL-literal-rendered parameters back into values.
+func parseParamRow(row []string) ([]sqltypes.Value, error) {
+	out := make([]sqltypes.Value, len(row))
+	for i, lit := range row {
+		// Reuse the SQL parser: a literal is a valid expression.
+		stmt, err := sqlparser.Parse("SELECT x FROM t WHERE x = " + lit)
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad parameter literal %q: %v", lit, err)
+		}
+		where := stmt.(*sqlparser.Select).Where.(*sqlparser.BinaryExpr)
+		l, ok := where.Right.(*sqlparser.Literal)
+		if !ok {
+			return nil, fmt.Errorf("workload: parameter %q is not a literal", lit)
+		}
+		out[i] = l.Val
+	}
+	return out, nil
+}

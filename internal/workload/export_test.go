@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aim/internal/exec"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	m := NewMonitor()
+	for i := 0; i < 7; i++ {
+		m.Record("SELECT a FROM t WHERE x = 5 AND s = 'it''s'", exec.Stats{RowsRead: 100, RowsSent: 2, PageReads: 10})
+	}
+	m.Record("UPDATE t SET a = 1 WHERE id = 9", exec.Stats{RowsWritten: 1, PageReads: 3})
+	m.SetWeight("SELECT a FROM t WHERE x = ? AND s = ?", 2.5)
+
+	var buf bytes.Buffer
+	if err := m.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := NewMonitor()
+	if err := out.Import(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != m.Len() {
+		t.Fatalf("len = %d, want %d", out.Len(), m.Len())
+	}
+	q := out.Get("SELECT a FROM t WHERE x = ? AND s = ?")
+	if q == nil {
+		t.Fatal("query missing after import")
+	}
+	orig := m.Get(q.Normalized)
+	if q.Executions != orig.Executions || q.CPUSeconds != orig.CPUSeconds ||
+		q.RowsRead != orig.RowsRead || q.RowsSent != orig.RowsSent || q.Weight != orig.Weight {
+		t.Fatalf("stats diverged:\n  got  %+v\n  want %+v", q, orig)
+	}
+	// Parameter samples survive (including the quoted string) and rebind.
+	if len(q.SampleParams) == 0 {
+		t.Fatal("sample params lost")
+	}
+	if q.SampleParams[0][0].Int() != 5 || q.SampleParams[0][1].Str() != "it's" {
+		t.Fatalf("params = %v", q.SampleParams[0])
+	}
+	if q.Benefit() != orig.Benefit() {
+		t.Fatal("benefit diverged")
+	}
+}
+
+func TestImportIsAdditiveAcrossReplicas(t *testing.T) {
+	mk := func() *bytes.Buffer {
+		m := NewMonitor()
+		m.Record("SELECT a FROM t WHERE x = 1", exec.Stats{RowsRead: 10, RowsSent: 1, PageReads: 2})
+		var buf bytes.Buffer
+		if err := m.Export(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	fleet := NewMonitor()
+	for i := 0; i < 3; i++ {
+		if err := fleet.Import(mk()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := fleet.Get("SELECT a FROM t WHERE x = ?")
+	if q == nil || q.Executions != 3 || q.RowsRead != 30 {
+		t.Fatalf("aggregate = %+v", q)
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	m := NewMonitor()
+	if err := m.Import(strings.NewReader("{not json")); err == nil {
+		t.Error("bad json accepted")
+	}
+	if err := m.Import(strings.NewReader(`{"queries":[{"normalized":"NOT SQL"}]}`)); err == nil {
+		t.Error("bad normalized sql accepted")
+	}
+	if err := m.Import(strings.NewReader(`{"queries":[{"normalized":"SELECT a FROM t","sample_params":[["@@@"]]}]}`)); err == nil {
+		t.Error("bad parameter literal accepted")
+	}
+}

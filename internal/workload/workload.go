@@ -1,0 +1,237 @@
+// Package workload implements AIM's workload monitor (§III-C): it groups
+// executions by normalized query, accumulates execution statistics (CPU,
+// rows read/sent, execution counts), computes the discarded data ratio and
+// the optimistic expected benefit of Eq. 5, and selects the representative
+// workload that the candidate generator optimizes.
+//
+// It also models the continuous statistics export pipeline (§VII-A): per
+// replica monitors can be merged into a fleet-wide view.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"aim/internal/exec"
+	"aim/internal/sqlparser"
+	"aim/internal/sqltypes"
+)
+
+// sampleParamsKeep bounds how many parameter sets are retained per
+// normalized query for replay.
+const sampleParamsKeep = 8
+
+// QueryStats accumulates execution statistics for one normalized query.
+type QueryStats struct {
+	Normalized string
+	// Stmt is the parsed normalized statement (contains placeholders).
+	Stmt sqlparser.Statement
+	// Weight is a manual importance multiplier (default 1).
+	Weight float64
+
+	Executions int64
+	CPUSeconds float64
+	RowsRead   int64
+	RowsSent   int64
+	// SampleParams holds recent parameter bindings for replay.
+	SampleParams [][]sqltypes.Value
+}
+
+// CPUAvg returns average CPU seconds per execution.
+func (q *QueryStats) CPUAvg() float64 {
+	if q.Executions == 0 {
+		return 0
+	}
+	return q.CPUSeconds / float64(q.Executions)
+}
+
+// DDR returns the data-sent-to-data-read ratio in [0, 1] (§III-A2). A low
+// value means most of the data read was discarded — the query is a strong
+// optimization candidate.
+func (q *QueryStats) DDR() float64 {
+	if q.RowsRead == 0 {
+		return 1
+	}
+	r := float64(q.RowsSent) / float64(q.RowsRead)
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// Benefit is the optimistic expected benefit B(q, X, Δt) of Eq. 5: the CPU
+// seconds that could be saved if every read that was not returned had been
+// avoided by a perfect index.
+func (q *QueryStats) Benefit() float64 {
+	w := q.Weight
+	if w == 0 {
+		w = 1
+	}
+	return w * (1 - q.DDR()) * q.CPUSeconds
+}
+
+// IsDML reports whether the normalized statement mutates data.
+func (q *QueryStats) IsDML() bool {
+	switch q.Stmt.(type) {
+	case *sqlparser.Insert, *sqlparser.Update, *sqlparser.Delete:
+		return true
+	}
+	return false
+}
+
+// Monitor aggregates execution statistics per normalized query.
+type Monitor struct {
+	queries map[string]*QueryStats
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor { return &Monitor{queries: map[string]*QueryStats{}} }
+
+// Record ingests one execution of sql with its observed statistics.
+func (m *Monitor) Record(sql string, st exec.Stats) error {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return err
+	}
+	return m.RecordStmt(stmt, st)
+}
+
+// RecordStmt ingests one execution of a parsed statement.
+func (m *Monitor) RecordStmt(stmt sqlparser.Statement, st exec.Stats) error {
+	norm, params := sqlparser.Normalize(stmt)
+	q := m.queries[norm]
+	if q == nil {
+		normStmt, err := sqlparser.Parse(norm)
+		if err != nil {
+			return fmt.Errorf("workload: re-parse of normalized query failed: %v", err)
+		}
+		q = &QueryStats{Normalized: norm, Stmt: normStmt}
+		m.queries[norm] = q
+	}
+	q.Executions++
+	q.CPUSeconds += st.CPUSeconds()
+	q.RowsRead += st.RowsRead
+	q.RowsSent += st.RowsSent
+	if len(q.SampleParams) < sampleParamsKeep {
+		q.SampleParams = append(q.SampleParams, params)
+	} else {
+		// Deterministic reservoir-ish rotation keeps recent variety.
+		q.SampleParams[int(q.Executions)%sampleParamsKeep] = params
+	}
+	return nil
+}
+
+// SetWeight assigns a manual importance weight to a normalized query.
+func (m *Monitor) SetWeight(normalized string, w float64) {
+	if q := m.queries[normalized]; q != nil {
+		q.Weight = w
+	}
+}
+
+// Queries returns all tracked normalized queries sorted by descending
+// benefit.
+func (m *Monitor) Queries() []*QueryStats {
+	out := make([]*QueryStats, 0, len(m.queries))
+	for _, q := range m.queries {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		bi, bj := out[i].Benefit(), out[j].Benefit()
+		if bi != bj {
+			return bi > bj
+		}
+		return out[i].Normalized < out[j].Normalized
+	})
+	return out
+}
+
+// Get returns the stats for a normalized query text, or nil.
+func (m *Monitor) Get(normalized string) *QueryStats { return m.queries[normalized] }
+
+// Len returns the number of distinct normalized queries.
+func (m *Monitor) Len() int { return len(m.queries) }
+
+// Reset clears all accumulated statistics (start of a new interval).
+func (m *Monitor) Reset() { m.queries = map[string]*QueryStats{} }
+
+// TotalCPUSeconds sums CPU across all queries — the denominator for
+// fleet-level savings accounting.
+func (m *Monitor) TotalCPUSeconds() float64 {
+	t := 0.0
+	for _, q := range m.queries {
+		t += q.CPUSeconds
+	}
+	return t
+}
+
+// Merge combines per-replica monitors into a fleet-wide view (§VII-A).
+func Merge(monitors ...*Monitor) *Monitor {
+	out := NewMonitor()
+	for _, m := range monitors {
+		for norm, q := range m.queries {
+			dst := out.queries[norm]
+			if dst == nil {
+				cp := *q
+				cp.SampleParams = append([][]sqltypes.Value(nil), q.SampleParams...)
+				out.queries[norm] = &cp
+				continue
+			}
+			dst.Executions += q.Executions
+			dst.CPUSeconds += q.CPUSeconds
+			dst.RowsRead += q.RowsRead
+			dst.RowsSent += q.RowsSent
+			for _, p := range q.SampleParams {
+				if len(dst.SampleParams) < sampleParamsKeep {
+					dst.SampleParams = append(dst.SampleParams, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SelectionConfig tunes representative workload selection (§III-C).
+type SelectionConfig struct {
+	// MinExecutions weeds out spurious ad-hoc queries.
+	MinExecutions int64
+	// MinBenefit is the threshold on B (e.g. 1/20 of a CPU core over the
+	// observation interval, i.e. 0.05 × Δt seconds).
+	MinBenefit float64
+	// TopK caps the number of queries selected; 0 = unlimited.
+	TopK int
+	// IncludeDML keeps DML statements in the workload so that index
+	// maintenance costs are observed. DML is never *optimized* for reads,
+	// but Eq. 8 needs it.
+	IncludeDML bool
+}
+
+// DefaultSelection mirrors the paper's deployment defaults.
+func DefaultSelection() SelectionConfig {
+	return SelectionConfig{MinExecutions: 3, MinBenefit: 0, TopK: 50, IncludeDML: true}
+}
+
+// Representative selects the queries worth optimizing, ordered by expected
+// benefit (Eq. 5). DML statements, when included, are appended after read
+// queries regardless of benefit: they matter for maintenance accounting.
+func (m *Monitor) Representative(cfg SelectionConfig) []*QueryStats {
+	var reads, dml []*QueryStats
+	for _, q := range m.Queries() {
+		if q.Executions < cfg.MinExecutions {
+			continue
+		}
+		if q.IsDML() {
+			if cfg.IncludeDML {
+				dml = append(dml, q)
+			}
+			continue
+		}
+		if q.Benefit() < cfg.MinBenefit {
+			continue
+		}
+		reads = append(reads, q)
+	}
+	if cfg.TopK > 0 && len(reads) > cfg.TopK {
+		reads = reads[:cfg.TopK]
+	}
+	return append(reads, dml...)
+}

@@ -1,0 +1,310 @@
+// Package tpch builds a scaled-down TPC-H-like analytical benchmark: the
+// eight TPC-H tables with proportional row counts and 22 query templates
+// that preserve the structural shape of TPC-H Q1-Q22 within this engine's
+// dialect (no subqueries; dates are integer day keys). The paper uses TPC-H
+// on PostgreSQL for Figure 4a/4b and Figure 5; the absolute numbers differ
+// here, but the algorithm comparison is structure-for-structure.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aim/internal/engine"
+	"aim/internal/sqltypes"
+)
+
+// Rows per unit scale factor. TPC-H proportions at 1/1000 of SF1.
+const (
+	regionRows    = 5
+	nationRows    = 25
+	supplierScale = 100
+	customerScale = 1500
+	partScale     = 2000
+	partsuppScale = 4000
+	ordersScale   = 15000
+	lineitemScale = 60000
+)
+
+// dayEpoch spans ~7 years of order dates, like TPC-H's 1992-1998.
+const (
+	dayMin = 8036  // 1992-01-01 as days
+	dayMax = 10591 // 1998-12-31
+)
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPEC", "5-LOW"}
+var shipmodes = []string{"AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"}
+var types = []string{"ECONOMY", "STANDARD", "PROMO", "SMALL", "LARGE", "MEDIUM"}
+var containers = []string{"SM CASE", "LG BOX", "MED BAG", "JUMBO PKG", "WRAP CASE"}
+var flags = []string{"A", "N", "R"}
+var statuses = []string{"F", "O", "P"}
+
+// Build creates and loads the TPC-H-like database at the given scale
+// (scale 1.0 ≈ 80k rows total). The seed fixes the data distribution.
+func Build(scale float64, seed int64) (*engine.DB, error) {
+	db := engine.New("tpch")
+	ddl := []string{
+		`CREATE TABLE region (r_regionkey INT, r_name VARCHAR(16), PRIMARY KEY (r_regionkey))`,
+		`CREATE TABLE nation (n_nationkey INT, n_name VARCHAR(16), n_regionkey INT, PRIMARY KEY (n_nationkey))`,
+		`CREATE TABLE supplier (s_suppkey INT, s_name VARCHAR(24), s_nationkey INT, s_acctbal FLOAT, PRIMARY KEY (s_suppkey))`,
+		`CREATE TABLE customer (c_custkey INT, c_name VARCHAR(24), c_nationkey INT, c_mktsegment VARCHAR(12),
+			c_acctbal FLOAT, PRIMARY KEY (c_custkey))`,
+		`CREATE TABLE part (p_partkey INT, p_name VARCHAR(32), p_type VARCHAR(16), p_size INT,
+			p_container VARCHAR(12), p_retailprice FLOAT, p_brand VARCHAR(12), PRIMARY KEY (p_partkey))`,
+		`CREATE TABLE partsupp (ps_partkey INT, ps_suppkey INT, ps_availqty INT, ps_supplycost FLOAT,
+			PRIMARY KEY (ps_partkey, ps_suppkey))`,
+		`CREATE TABLE orders (o_orderkey INT, o_custkey INT, o_orderstatus VARCHAR(2), o_totalprice FLOAT,
+			o_orderdate INT, o_orderpriority VARCHAR(12), o_shippriority INT, PRIMARY KEY (o_orderkey))`,
+		`CREATE TABLE lineitem (l_orderkey INT, l_linenumber INT, l_partkey INT, l_suppkey INT,
+			l_quantity FLOAT, l_extendedprice FLOAT, l_discount FLOAT, l_tax FLOAT,
+			l_returnflag VARCHAR(2), l_linestatus VARCHAR(2), l_shipdate INT, l_commitdate INT,
+			l_receiptdate INT, l_shipmode VARCHAR(8), PRIMARY KEY (l_orderkey, l_linenumber))`,
+	}
+	for _, d := range ddl {
+		if _, err := db.Exec(d); err != nil {
+			return nil, err
+		}
+	}
+	r := rand.New(rand.NewSource(seed))
+	n := func(base int) int {
+		v := int(float64(base) * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	iv := sqltypes.NewInt
+	fv := sqltypes.NewFloat
+	sv := sqltypes.NewString
+
+	regions := []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDEAST"}
+	var rows []sqltypes.Row
+	for i := 0; i < regionRows; i++ {
+		rows = append(rows, sqltypes.Row{iv(int64(i)), sv(regions[i])})
+	}
+	if err := db.InsertRows("region", rows); err != nil {
+		return nil, err
+	}
+
+	rows = nil
+	for i := 0; i < nationRows; i++ {
+		rows = append(rows, sqltypes.Row{iv(int64(i)), sv(fmt.Sprintf("NATION%02d", i)), iv(int64(i % regionRows))})
+	}
+	if err := db.InsertRows("nation", rows); err != nil {
+		return nil, err
+	}
+
+	nSupp := n(supplierScale)
+	rows = nil
+	for i := 0; i < nSupp; i++ {
+		rows = append(rows, sqltypes.Row{
+			iv(int64(i)), sv(fmt.Sprintf("Supplier#%05d", i)), iv(int64(r.Intn(nationRows))),
+			fv(r.Float64()*11000 - 1000),
+		})
+	}
+	if err := db.InsertRows("supplier", rows); err != nil {
+		return nil, err
+	}
+
+	nCust := n(customerScale)
+	rows = nil
+	for i := 0; i < nCust; i++ {
+		rows = append(rows, sqltypes.Row{
+			iv(int64(i)), sv(fmt.Sprintf("Customer#%06d", i)), iv(int64(r.Intn(nationRows))),
+			sv(segments[r.Intn(len(segments))]), fv(r.Float64()*11000 - 1000),
+		})
+	}
+	if err := db.InsertRows("customer", rows); err != nil {
+		return nil, err
+	}
+
+	nPart := n(partScale)
+	rows = nil
+	for i := 0; i < nPart; i++ {
+		rows = append(rows, sqltypes.Row{
+			iv(int64(i)), sv(fmt.Sprintf("part moss %d", i)), sv(types[r.Intn(len(types))]),
+			iv(int64(1 + r.Intn(50))), sv(containers[r.Intn(len(containers))]),
+			fv(900 + r.Float64()*1100), sv(fmt.Sprintf("Brand#%d%d", 1+r.Intn(5), 1+r.Intn(5))),
+		})
+	}
+	if err := db.InsertRows("part", rows); err != nil {
+		return nil, err
+	}
+
+	nPS := n(partsuppScale)
+	rows = nil
+	for i := 0; i < nPS; i++ {
+		rows = append(rows, sqltypes.Row{
+			iv(int64(i % nPart)), iv(int64((i / nPart * 7) % nSupp)), iv(int64(r.Intn(10000))),
+			fv(r.Float64() * 1000),
+		})
+	}
+	if err := db.InsertRows("partsupp", rows); err != nil {
+		return nil, err
+	}
+
+	nOrders := n(ordersScale)
+	rows = nil
+	for i := 0; i < nOrders; i++ {
+		rows = append(rows, sqltypes.Row{
+			iv(int64(i)), iv(int64(r.Intn(nCust))), sv(statuses[r.Intn(len(statuses))]),
+			fv(1000 + r.Float64()*450000), iv(int64(dayMin + r.Intn(dayMax-dayMin))),
+			sv(priorities[r.Intn(len(priorities))]), iv(int64(r.Intn(2))),
+		})
+	}
+	if err := db.InsertRows("orders", rows); err != nil {
+		return nil, err
+	}
+
+	nLine := n(lineitemScale)
+	rows = nil
+	perOrder := nLine / nOrders
+	if perOrder < 1 {
+		perOrder = 1
+	}
+	for i := 0; i < nLine; i++ {
+		orderkey := int64(i / perOrder % nOrders)
+		ship := int64(dayMin + r.Intn(dayMax-dayMin))
+		rows = append(rows, sqltypes.Row{
+			iv(orderkey), iv(int64(i % perOrder)), iv(int64(r.Intn(nPart))), iv(int64(r.Intn(nSupp))),
+			fv(1 + float64(r.Intn(50))), fv(900 + r.Float64()*100000), fv(float64(r.Intn(11)) / 100),
+			fv(float64(r.Intn(9)) / 100), sv(flags[r.Intn(len(flags))]), sv(statuses[r.Intn(2)]),
+			iv(ship), iv(ship + int64(r.Intn(30))), iv(ship + int64(r.Intn(60))),
+			sv(shipmodes[r.Intn(len(shipmodes))]),
+		})
+	}
+	if err := db.InsertRows("lineitem", rows); err != nil {
+		return nil, err
+	}
+	db.Analyze()
+	return db, nil
+}
+
+// Queries returns the 22 query templates (Q1..Q22 shapes) instantiated with
+// deterministic parameters from seed. Index i holds "Qi+1".
+func Queries(seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	day := func(lo, span int) int { return dayMin + lo + r.Intn(span) }
+	seg := segments[r.Intn(len(segments))]
+	_ = priorities[r.Intn(len(priorities))] // keep the deterministic draw sequence stable
+	mode1 := shipmodes[r.Intn(len(shipmodes))]
+	mode2 := shipmodes[r.Intn(len(shipmodes))]
+	brand := fmt.Sprintf("Brand#%d%d", 1+r.Intn(5), 1+r.Intn(5))
+	typ := types[r.Intn(len(types))]
+
+	return []string{
+		// Q1: pricing summary report.
+		fmt.Sprintf(`SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice),
+			AVG(l_discount), COUNT(*) FROM lineitem WHERE l_shipdate <= %d
+			GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus`, dayMax-90),
+		// Q2: minimum cost supplier (simplified join).
+		fmt.Sprintf(`SELECT s.s_name, s.s_acctbal, n.n_name, p.p_partkey FROM part p
+			JOIN partsupp ps ON ps.ps_partkey = p.p_partkey
+			JOIN supplier s ON s.s_suppkey = ps.ps_suppkey
+			JOIN nation n ON n.n_nationkey = s.s_nationkey
+			WHERE p.p_size = %d AND n.n_regionkey = %d ORDER BY s.s_acctbal DESC LIMIT 100`, 1+r.Intn(50), r.Intn(5)),
+		// Q3: shipping priority.
+		fmt.Sprintf(`SELECT o.o_orderkey, SUM(l.l_extendedprice), o.o_orderdate, o.o_shippriority
+			FROM customer c JOIN orders o ON o.o_custkey = c.c_custkey
+			JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+			WHERE c.c_mktsegment = '%s' AND o.o_orderdate < %d AND l.l_shipdate > %d
+			GROUP BY o.o_orderkey, o.o_orderdate, o.o_shippriority LIMIT 10`, seg, day(800, 400), day(800, 400)),
+		// Q4: order priority checking (semi-join flattened).
+		fmt.Sprintf(`SELECT o.o_orderpriority, COUNT(*) FROM orders o JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+			WHERE o.o_orderdate >= %d AND o.o_orderdate < %d AND l.l_commitdate < l.l_receiptdate
+			GROUP BY o.o_orderpriority ORDER BY o.o_orderpriority`, day(0, 200), day(400, 200)),
+		// Q5: local supplier volume.
+		fmt.Sprintf(`SELECT n.n_name, SUM(l.l_extendedprice) FROM customer c
+			JOIN orders o ON o.o_custkey = c.c_custkey
+			JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+			JOIN supplier s ON s.s_suppkey = l.l_suppkey
+			JOIN nation n ON n.n_nationkey = s.s_nationkey
+			WHERE n.n_regionkey = %d AND o.o_orderdate >= %d AND o.o_orderdate < %d
+			GROUP BY n.n_name`, r.Intn(5), day(0, 600), day(900, 600)),
+		// Q6: forecasting revenue change.
+		fmt.Sprintf(`SELECT SUM(l_extendedprice) FROM lineitem
+			WHERE l_shipdate >= %d AND l_shipdate < %d AND l_discount BETWEEN 0.02 AND 0.04
+			AND l_quantity < %d`, day(0, 300), day(500, 300), 10+r.Intn(15)),
+		// Q7: volume shipping.
+		fmt.Sprintf(`SELECT n.n_name, COUNT(*) FROM supplier s
+			JOIN lineitem l ON l.l_suppkey = s.s_suppkey
+			JOIN orders o ON o.o_orderkey = l.l_orderkey
+			JOIN nation n ON n.n_nationkey = s.s_nationkey
+			WHERE l.l_shipdate BETWEEN %d AND %d GROUP BY n.n_name`, day(0, 200), day(1200, 600)),
+		// Q8: national market share.
+		fmt.Sprintf(`SELECT o.o_orderdate, SUM(l.l_extendedprice) FROM part p
+			JOIN lineitem l ON l.l_partkey = p.p_partkey
+			JOIN orders o ON o.o_orderkey = l.l_orderkey
+			JOIN customer c ON c.c_custkey = o.o_custkey
+			WHERE p.p_type = '%s' AND c.c_nationkey = %d
+			GROUP BY o.o_orderdate LIMIT 50`, typ, r.Intn(nationRows)),
+		// Q9: product type profit.
+		fmt.Sprintf(`SELECT n.n_name, SUM(l.l_extendedprice) FROM part p
+			JOIN lineitem l ON l.l_partkey = p.p_partkey
+			JOIN supplier s ON s.s_suppkey = l.l_suppkey
+			JOIN nation n ON n.n_nationkey = s.s_nationkey
+			WHERE p.p_name LIKE 'part m%%' AND p.p_size > %d GROUP BY n.n_name`, r.Intn(25)),
+		// Q10: returned item reporting.
+		fmt.Sprintf(`SELECT c.c_custkey, c.c_name, SUM(l.l_extendedprice), c.c_acctbal
+			FROM customer c JOIN orders o ON o.o_custkey = c.c_custkey
+			JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+			WHERE l.l_returnflag = 'R' AND o.o_orderdate >= %d AND o.o_orderdate < %d
+			GROUP BY c.c_custkey, c.c_name, c.c_acctbal LIMIT 20`, day(0, 400), day(700, 400)),
+		// Q11: important stock identification.
+		fmt.Sprintf(`SELECT ps.ps_partkey, SUM(ps.ps_supplycost) FROM partsupp ps
+			JOIN supplier s ON s.s_suppkey = ps.ps_suppkey
+			WHERE s.s_nationkey = %d GROUP BY ps.ps_partkey LIMIT 100`, r.Intn(nationRows)),
+		// Q12: shipping modes and order priority.
+		fmt.Sprintf(`SELECT l.l_shipmode, COUNT(*) FROM orders o
+			JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+			WHERE l.l_shipmode IN ('%s', '%s') AND l.l_receiptdate >= %d AND l.l_receiptdate < %d
+			GROUP BY l.l_shipmode ORDER BY l.l_shipmode`, mode1, mode2, day(0, 300), day(600, 400)),
+		// Q13: customer distribution.
+		`SELECT c.c_custkey, COUNT(*) FROM customer c JOIN orders o ON o.o_custkey = c.c_custkey
+			GROUP BY c.c_custkey LIMIT 200`,
+		// Q14: promotion effect.
+		fmt.Sprintf(`SELECT SUM(l.l_extendedprice), COUNT(*) FROM lineitem l
+			JOIN part p ON p.p_partkey = l.l_partkey
+			WHERE l.l_shipdate >= %d AND l.l_shipdate < %d AND p.p_type = 'PROMO'`, day(0, 500), day(700, 300)),
+		// Q15: top supplier (flattened).
+		fmt.Sprintf(`SELECT l_suppkey, SUM(l_extendedprice) FROM lineitem
+			WHERE l_shipdate >= %d AND l_shipdate < %d GROUP BY l_suppkey
+			ORDER BY l_suppkey LIMIT 20`, day(0, 400), day(800, 300)),
+		// Q16: parts/supplier relationship.
+		fmt.Sprintf(`SELECT p.p_brand, p.p_type, p.p_size, COUNT(*) FROM partsupp ps
+			JOIN part p ON p.p_partkey = ps.ps_partkey
+			WHERE p.p_brand != '%s' AND p.p_size IN (1, 5, 9, 14, 20)
+			GROUP BY p.p_brand, p.p_type, p.p_size LIMIT 100`, brand),
+		// Q17: small-quantity-order revenue.
+		fmt.Sprintf(`SELECT AVG(l.l_extendedprice) FROM lineitem l
+			JOIN part p ON p.p_partkey = l.l_partkey
+			WHERE p.p_brand = '%s' AND p.p_container = 'MED BAG' AND l.l_quantity < 5`, brand),
+		// Q18: large volume customer.
+		fmt.Sprintf(`SELECT c.c_name, o.o_orderkey, o.o_totalprice, SUM(l.l_quantity)
+			FROM customer c JOIN orders o ON o.o_custkey = c.c_custkey
+			JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+			WHERE o.o_totalprice > %d GROUP BY c.c_name, o.o_orderkey, o.o_totalprice
+			ORDER BY o.o_totalprice DESC LIMIT 100`, 350000+r.Intn(80000)),
+		// Q19: discounted revenue.
+		fmt.Sprintf(`SELECT SUM(l.l_extendedprice) FROM lineitem l
+			JOIN part p ON p.p_partkey = l.l_partkey
+			WHERE (p.p_container = 'SM CASE' AND l.l_quantity BETWEEN 1 AND 11)
+			OR (p.p_container = 'MED BAG' AND l.l_quantity BETWEEN 10 AND 20)
+			OR (p.p_container = 'LG BOX' AND l.l_quantity BETWEEN 20 AND 30)`),
+		// Q20: potential part promotion (flattened).
+		fmt.Sprintf(`SELECT s.s_name FROM supplier s
+			JOIN partsupp ps ON ps.ps_suppkey = s.s_suppkey
+			WHERE ps.ps_availqty > %d AND s.s_nationkey = %d ORDER BY s.s_name LIMIT 50`,
+			5000+r.Intn(4000), r.Intn(nationRows)),
+		// Q21: suppliers who kept orders waiting.
+		fmt.Sprintf(`SELECT s.s_name, COUNT(*) FROM supplier s
+			JOIN lineitem l ON l.l_suppkey = s.s_suppkey
+			JOIN orders o ON o.o_orderkey = l.l_orderkey
+			WHERE o.o_orderstatus = 'F' AND l.l_receiptdate > l.l_commitdate AND s.s_nationkey = %d
+			GROUP BY s.s_name ORDER BY s.s_name LIMIT 100`, r.Intn(nationRows)),
+		// Q22: global sales opportunity.
+		`SELECT c_nationkey, COUNT(*), SUM(c_acctbal) FROM customer
+			WHERE c_acctbal > 7000 GROUP BY c_nationkey ORDER BY c_nationkey`,
+	}
+}
