@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check vet build test race benchsmoke bench clean
+
+# check is the tier-1 gate: everything here must pass before a change lands.
+check: vet build race benchsmoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of each advisor benchmark as a smoke test — exercises the
+# full pipeline (candidates, cache, parallel costing) without the cost of a
+# real benchmarking run. '^$$' skips unit tests; only benchmarks execute.
+benchsmoke:
+	$(GO) test -run '^$$' -bench BenchmarkAdvisor -benchtime 1x .
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 3x .
+
+clean:
+	$(GO) clean ./...

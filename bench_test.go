@@ -12,6 +12,7 @@ package aim_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"aim/internal/baselines"
@@ -390,12 +391,53 @@ func BenchmarkAdvisorRuntimeScaling(b *testing.B) {
 			cfg := core.DefaultConfig()
 			cfg.Selection.MinExecutions = 1
 			adv := core.NewAdvisor(db, cfg)
+			var rec *core.Recommendation
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := adv.RecommendQueries(queries); err != nil {
+				if rec, err = adv.RecommendQueries(queries); err != nil {
 					b.Fatal(err)
 				}
 			}
+			b.ReportMetric(rec.Cache.HitRate()*100, "cache_hit_%")
+		})
+	}
+}
+
+// BenchmarkAdvisorParallelism measures the parallel what-if fan-out at
+// pool sizes 1 and GOMAXPROCS. The cost cache is dropped before every run,
+// so the time measured is genuine plan computation, not memo replay; the
+// recommendation is bit-identical across pool sizes (see the golden
+// determinism tests).
+func BenchmarkAdvisorParallelism(b *testing.B) {
+	db, err := tpch.Build(0.05, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon := workload.NewMonitor()
+	for _, q := range tpch.Queries(11) {
+		res, err := db.Exec(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mon.Record(q, res.Stats)
+	}
+	queries := mon.Representative(workload.SelectionConfig{MinExecutions: 1})
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Selection.MinExecutions = 1
+			cfg.Parallelism = workers
+			adv := core.NewAdvisor(db, cfg)
+			var rec *core.Recommendation
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db.WhatIf.Invalidate()
+				var err error
+				if rec, err = adv.RecommendQueries(queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rec.Cache.HitRate()*100, "cache_hit_%")
 		})
 	}
 }

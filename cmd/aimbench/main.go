@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"text/tabwriter"
 
@@ -31,7 +32,15 @@ func main() {
 	bench := flag.String("bench", "tpch", "benchmark for fig4: tpch|job")
 	product := flag.String("product", "C", "product for fig3: A..G")
 	fast := flag.Bool("fast", false, "reduced dataset sizes")
+	workers := flag.Int("workers", 0, "cap what-if costing parallelism (0 = all cores)")
 	flag.Parse()
+
+	// The experiments construct their advisor configs internally with the
+	// default Parallelism (0 = GOMAXPROCS), so bounding GOMAXPROCS bounds
+	// every worker pool in the run.
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	run := func(name string, f func() error) {
 		fmt.Printf("\n=== %s ===\n", name)

@@ -47,6 +47,7 @@ func main() {
 	budget := flag.String("budget", "", "storage budget, e.g. 64MiB (empty = unlimited)")
 	apply := flag.Bool("apply", false, "materialize the recommendation")
 	validate := flag.Bool("validate", false, "run the shadow no-regression gate before applying")
+	workers := flag.Int("workers", 0, "what-if costing worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	var text string
@@ -78,6 +79,7 @@ func main() {
 
 	cfg := core.DefaultConfig()
 	cfg.J = *j
+	cfg.Parallelism = *workers
 	cfg.Selection.MinExecutions = 1
 	if *budget != "" {
 		n, err := parseSize(*budget)
@@ -94,6 +96,8 @@ func main() {
 
 	fmt.Printf("\nAIM: %d partial orders -> %d candidates -> %d selected (%d optimizer calls, %s)\n",
 		rec.PartialOrders, rec.CandidateCount, len(rec.Create), rec.OptimizerCalls, rec.Elapsed.Round(1000000))
+	fmt.Printf("cost cache: %d hits / %d misses (%.1f%% hit rate), %d evictions, %d entries\n",
+		rec.Cache.Hits, rec.Cache.Misses, rec.Cache.HitRate()*100, rec.Cache.Evictions, rec.Cache.Entries)
 	for _, e := range rec.Explanations {
 		fmt.Printf("  CREATE %s\n    %s\n", e.Index, e.String())
 	}

@@ -17,6 +17,7 @@ import (
 
 	"aim/internal/catalog"
 	"aim/internal/engine"
+	"aim/internal/pool"
 	"aim/internal/queryinfo"
 	"aim/internal/sqlparser"
 	"aim/internal/sqltypes"
@@ -65,32 +66,40 @@ func boundStmt(q *workload.QueryStats) sqlparser.Statement {
 	return q.Stmt
 }
 
-// WorkloadCost evaluates Σ_q w_q·cost(q, config) through the what-if API.
-// Weights are execution counts.
+// WorkloadCost evaluates Σ_q w_q·cost(q, config) through the memoized
+// what-if API. Weights are execution counts. Per-query estimates are
+// computed on a bounded worker pool into per-query slots and folded
+// sequentially in workload order, so the sum is bit-identical to a
+// sequential evaluation.
 func WorkloadCost(db *engine.DB, queries []*workload.QueryStats, config []*catalog.Index) float64 {
-	total := 0.0
-	for _, q := range queries {
+	costs := make([]float64, len(queries))
+	pool.ForEach(pool.Workers(0), len(queries), func(qi int) {
+		q := queries[qi]
 		w := float64(q.Executions)
 		if w == 0 {
 			w = 1
 		}
 		if q.IsDML() {
-			est, err := db.Optimizer.EstimateDMLConfig(boundStmt(q), config)
+			est, err := db.WhatIf.EstimateDMLConfig(boundStmt(q), config)
 			if err != nil {
-				continue
+				return
 			}
-			total += w * est.TotalCost()
-			continue
+			costs[qi] = w * est.TotalCost()
+			return
 		}
 		sel := boundSelect(q)
 		if sel == nil {
-			continue
+			return
 		}
-		est, err := db.Optimizer.EstimateSelectConfig(sel, config)
+		est, err := db.WhatIf.EstimateSelectConfig(sel, config)
 		if err != nil {
-			continue
+			return
 		}
-		total += w * est.Cost
+		costs[qi] = w * est.Cost
+	})
+	total := 0.0
+	for _, c := range costs {
+		total += c
 	}
 	return total
 }

@@ -6,6 +6,7 @@ import (
 
 	"aim/internal/catalog"
 	"aim/internal/engine"
+	"aim/internal/pool"
 	"aim/internal/workload"
 )
 
@@ -36,19 +37,26 @@ func (d *DB2Advis) Recommend(db *engine.DB, queries []*workload.QueryStats, budg
 		benefit float64
 		size    int64
 	}
-	cands := map[string]*cand{}
-
-	for _, q := range queries {
+	// Per-query what-if evaluation fans out over the worker pool; each
+	// query's credited (index, benefit) pairs land in a slot and the
+	// benefit accumulation folds sequentially in workload order.
+	type credit struct {
+		ix  *catalog.Index
+		per float64
+	}
+	perQ := make([][]credit, len(queries))
+	pool.ForEach(pool.Workers(0), len(queries), func(qi int) {
+		q := queries[qi]
 		if q.IsDML() {
-			continue
+			return
 		}
 		sel := boundSelect(q)
 		if sel == nil {
-			continue
+			return
 		}
-		base, err := db.Optimizer.EstimateSelectConfig(sel, nil)
+		base, err := db.WhatIf.EstimateSelectConfig(sel, nil)
 		if err != nil {
-			continue
+			return
 		}
 		var queryCands []*catalog.Index
 		for _, rc := range queryRoleColumns(db, q) {
@@ -57,30 +65,38 @@ func (d *DB2Advis) Recommend(db *engine.DB, queries []*workload.QueryStats, budg
 			}
 		}
 		if len(queryCands) == 0 {
-			continue
+			return
 		}
-		with, err := db.Optimizer.EstimateSelectConfig(sel, queryCands)
+		with, err := db.WhatIf.EstimateSelectConfig(sel, queryCands)
 		if err != nil || with.Cost >= base.Cost {
-			continue
+			return
 		}
 		benefit := (base.Cost - with.Cost) * float64(q.Executions)
 		usedKeys := with.UsedIndexKeys()
 		if len(usedKeys) == 0 {
-			continue
+			return
 		}
 		per := benefit / float64(len(usedKeys))
+		var credits []credit
 		for _, key := range usedKeys {
 			for _, ix := range queryCands {
-				if ix.Key() != key {
-					continue
+				if ix.Key() == key {
+					credits = append(credits, credit{ix: ix, per: per})
 				}
-				c := cands[key]
-				if c == nil {
-					c = &cand{ix: ix, size: db.EstimateIndexSize(ix)}
-					cands[key] = c
-				}
-				c.benefit += per
 			}
+		}
+		perQ[qi] = credits
+	})
+	cands := map[string]*cand{}
+	for _, credits := range perQ {
+		for _, cr := range credits {
+			key := cr.ix.Key()
+			c := cands[key]
+			if c == nil {
+				c = &cand{ix: cr.ix, size: db.EstimateIndexSize(cr.ix)}
+				cands[key] = c
+			}
+			c.benefit += cr.per
 		}
 	}
 

@@ -6,6 +6,7 @@ import (
 
 	"aim/internal/catalog"
 	"aim/internal/engine"
+	"aim/internal/pool"
 	"aim/internal/workload"
 )
 
@@ -42,34 +43,44 @@ func (d *DTA) Recommend(db *engine.DB, queries []*workload.QueryStats, budgetByt
 		seeds = 4
 	}
 
-	// Phase 1: per-query candidate seeding.
-	candSet := map[string]*catalog.Index{}
-	for _, q := range queries {
+	// Phase 1: per-query candidate seeding — each query's enumeration and
+	// what-if scoring runs on a worker; the winning seeds merge into the
+	// candidate set sequentially in workload order.
+	type scored struct {
+		ix   *catalog.Index
+		cost float64
+	}
+	perQ := make([][]scored, len(queries))
+	pool.ForEach(pool.Workers(0), len(queries), func(qi int) {
+		q := queries[qi]
 		if q.IsDML() {
-			continue
+			return
 		}
 		sel := boundSelect(q)
 		if sel == nil {
-			continue
-		}
-		type scored struct {
-			ix   *catalog.Index
-			cost float64
+			return
 		}
 		var perQuery []scored
 		for _, rc := range queryRoleColumns(db, q) {
 			for _, cols := range enumerateCandidates(rc, maxWidth) {
 				ix := mkIndex("dta", rc.table, cols)
-				est, err := db.Optimizer.EstimateSelectConfig(sel, []*catalog.Index{ix})
+				est, err := db.WhatIf.EstimateSelectConfig(sel, []*catalog.Index{ix})
 				if err != nil {
 					continue
 				}
 				perQuery = append(perQuery, scored{ix, est.Cost})
 			}
 		}
-		sort.Slice(perQuery, func(i, j int) bool { return perQuery[i].cost < perQuery[j].cost })
-		for i := 0; i < len(perQuery) && i < seeds; i++ {
-			candSet[perQuery[i].ix.Key()] = perQuery[i].ix
+		sort.SliceStable(perQuery, func(i, j int) bool { return perQuery[i].cost < perQuery[j].cost })
+		if len(perQuery) > seeds {
+			perQuery = perQuery[:seeds]
+		}
+		perQ[qi] = perQuery
+	})
+	candSet := map[string]*catalog.Index{}
+	for _, perQuery := range perQ {
+		for _, s := range perQuery {
+			candSet[s.ix.Key()] = s.ix
 		}
 	}
 	cands := make([]*catalog.Index, 0, len(candSet))

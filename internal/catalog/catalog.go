@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"aim/internal/sqltypes"
 )
@@ -149,8 +150,11 @@ func (ix *Index) String() string {
 	return fmt.Sprintf("INDEX %s ON %s (%s)", ix.Name, ix.Table, strings.Join(ix.Columns, ", "))
 }
 
-// Schema is a collection of tables and index definitions.
+// Schema is a collection of tables and index definitions. Reads and writes
+// are safe for concurrent use: the advisor's parallel what-if costing reads
+// the schema from many goroutines while DDL may land from another.
 type Schema struct {
+	mu      sync.RWMutex
 	tables  map[string]*Table
 	indexes map[string]*Index // by lower-cased index name
 }
@@ -162,6 +166,8 @@ func NewSchema() *Schema {
 
 // AddTable registers a table.
 func (s *Schema) AddTable(t *Table) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	key := strings.ToLower(t.Name)
 	if _, dup := s.tables[key]; dup {
 		return fmt.Errorf("catalog: table %q already exists", t.Name)
@@ -171,14 +177,20 @@ func (s *Schema) AddTable(t *Table) error {
 }
 
 // Table returns the named table, or nil.
-func (s *Schema) Table(name string) *Table { return s.tables[strings.ToLower(name)] }
+func (s *Schema) Table(name string) *Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tables[strings.ToLower(name)]
+}
 
 // Tables returns all tables sorted by name.
 func (s *Schema) Tables() []*Table {
+	s.mu.RLock()
 	out := make([]*Table, 0, len(s.tables))
 	for _, t := range s.tables {
 		out = append(out, t)
 	}
+	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
@@ -186,6 +198,8 @@ func (s *Schema) Tables() []*Table {
 // AddIndex registers an index definition after validating it.
 func (s *Schema) AddIndex(ix *Index) error {
 	t := s.Table(ix.Table)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if t == nil {
 		return fmt.Errorf("catalog: index %q references unknown table %q", ix.Name, ix.Table)
 	}
@@ -213,6 +227,8 @@ func (s *Schema) AddIndex(ix *Index) error {
 
 // DropIndex removes the named index and reports whether it existed.
 func (s *Schema) DropIndex(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	key := strings.ToLower(name)
 	if _, ok := s.indexes[key]; !ok {
 		return false
@@ -222,14 +238,20 @@ func (s *Schema) DropIndex(name string) bool {
 }
 
 // Index returns the named index, or nil.
-func (s *Schema) Index(name string) *Index { return s.indexes[strings.ToLower(name)] }
+func (s *Schema) Index(name string) *Index {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.indexes[strings.ToLower(name)]
+}
 
 // Indexes returns all index definitions sorted by name.
 func (s *Schema) Indexes() []*Index {
+	s.mu.RLock()
 	out := make([]*Index, 0, len(s.indexes))
 	for _, ix := range s.indexes {
 		out = append(out, ix)
 	}
+	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
@@ -249,6 +271,8 @@ func (s *Schema) TableIndexes(table string) []*Index {
 // the exact same table and column sequence, or nil.
 func (s *Schema) FindIndexByColumns(table string, cols []string) *Index {
 	probe := &Index{Table: table, Columns: cols}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, ix := range s.indexes {
 		if ix.Equal(probe) {
 			return ix
@@ -261,6 +285,8 @@ func (s *Schema) FindIndexByColumns(table string, cols []string) *Index {
 // immutable; index definitions are copied).
 func (s *Schema) Clone() *Schema {
 	out := NewSchema()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for k, t := range s.tables {
 		out.tables[k] = t
 	}

@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"aim/internal/catalog"
+	"aim/internal/costcache"
 	"aim/internal/engine"
+	"aim/internal/pool"
 	"aim/internal/workload"
 )
 
@@ -40,6 +42,10 @@ type Config struct {
 	// shard pays the storage and maintenance of every index, so both are
 	// scaled by the shard count. 0/1 = unsharded.
 	ShardCount int
+	// Parallelism bounds the worker pool used for what-if costing fan-out.
+	// 0 = GOMAXPROCS, 1 = sequential. The recommendation is identical at
+	// any setting; only wall-clock time changes.
+	Parallelism int
 }
 
 // DefaultConfig mirrors the deployment defaults described in the paper.
@@ -109,6 +115,9 @@ type Recommendation struct {
 	// OptimizerCalls incurred by this run, and wall-clock Elapsed.
 	OptimizerCalls int64
 	Elapsed        time.Duration
+	// Cache reports the what-if cost-cache activity during this run
+	// (hits/misses/evictions delta, absolute entry count).
+	Cache costcache.Stats
 }
 
 // TotalCreateBytes sums the estimated size of the recommended indexes.
@@ -144,6 +153,7 @@ func (a *Advisor) Recommend(mon *workload.Monitor) (*Recommendation, error) {
 func (a *Advisor) RecommendQueries(rep []*workload.QueryStats) (*Recommendation, error) {
 	start := time.Now()
 	calls0 := a.DB.Optimizer.Calls()
+	cache0 := a.DB.WhatIf.CacheStats()
 
 	gen := &Generator{
 		DB:                    a.DB,
@@ -153,6 +163,7 @@ func (a *Advisor) RecommendQueries(rep []*workload.QueryStats) (*Recommendation,
 		CoveringMinExecutions: a.Cfg.CoveringMinExecutions,
 		DisableMerging:        a.Cfg.DisableMerging,
 		ArbitraryRangeColumn:  a.Cfg.ArbitraryRangeColumn,
+		Parallelism:           a.Cfg.Parallelism,
 	}
 	pos := gen.GenerateCandidates(rep)
 
@@ -202,6 +213,7 @@ func (a *Advisor) RecommendQueries(rep []*workload.QueryStats) (*Recommendation,
 	}
 	rec.Drop, rec.Shrink = a.findUnusedIndexes(rep)
 	rec.OptimizerCalls = a.DB.Optimizer.Calls() - calls0
+	rec.Cache = a.DB.WhatIf.CacheStats().Delta(cache0)
 	rec.Elapsed = time.Since(start)
 	return rec, nil
 }
@@ -218,36 +230,61 @@ func (a *Advisor) findUnusedIndexes(rep []*workload.QueryStats) ([]*catalog.Inde
 	// usedWidth tracks, per index key, the widest key prefix any plan
 	// bound (equality prefix plus one range/IN column). A covering or
 	// order-providing read may rely on trailing columns without binding
-	// them, so those accesses pin the full width.
-	usedWidth := map[string]int{}
-	touchedTables := map[string]bool{}
-	for _, q := range rep {
+	// them, so those accesses pin the full width. Each query's plan is
+	// costed on a worker; the max-fold over widths runs afterwards in
+	// workload order (max is order-insensitive, but the deterministic
+	// merge keeps the structure uniform with the ranking loops).
+	type usage struct {
+		tables []string
+		keys   []string
+		widths []int
+	}
+	perQ := make([]*usage, len(rep))
+	pool.ForEach(pool.Workers(a.Cfg.Parallelism), len(rep), func(qi int) {
+		q := rep[qi]
 		sel := boundSelect(q)
 		if sel == nil {
-			continue // DML does not vote for keeping read indexes
+			return // DML does not vote for keeping read indexes
 		}
+		u := &usage{}
 		for _, tr := range sel.Tables {
-			touchedTables[strings.ToLower(tr.Name)] = true
+			u.tables = append(u.tables, strings.ToLower(tr.Name))
 		}
-		est, err := a.DB.Optimizer.EstimateSelect(sel, nil)
+		est, err := a.DB.WhatIf.EstimateSelect(sel, nil)
 		if err != nil {
-			continue
+			perQ[qi] = u
+			return
 		}
-		for _, u := range est.Used {
-			if u.Index == nil {
+		for _, used := range est.Used {
+			if used.Index == nil {
 				continue
 			}
-			w := u.EqLen
-			if u.HasRange {
+			w := used.EqLen
+			if used.HasRange {
 				w++
 			}
-			if u.Covering || len(sel.OrderBy) > 0 || len(sel.GroupBy) > 0 {
+			if used.Covering || len(sel.OrderBy) > 0 || len(sel.GroupBy) > 0 {
 				// Conservative: covering and ordered/grouped reads may
 				// depend on every key column.
-				w = len(u.Index.Columns)
+				w = len(used.Index.Columns)
 			}
-			if w > usedWidth[u.Index.Key()] {
-				usedWidth[u.Index.Key()] = w
+			u.keys = append(u.keys, used.Index.Key())
+			u.widths = append(u.widths, w)
+		}
+		perQ[qi] = u
+	})
+	usedWidth := map[string]int{}
+	touchedTables := map[string]bool{}
+	for _, u := range perQ {
+		if u == nil {
+			continue
+		}
+		for _, t := range u.tables {
+			touchedTables[t] = true
+		}
+		for i, k := range u.keys {
+			if u.widths[i] > usedWidth[k] {
+				usedWidth[k] = u.widths[i]
 			}
 		}
 	}

@@ -8,6 +8,7 @@ import (
 
 	"aim/internal/catalog"
 	"aim/internal/engine"
+	"aim/internal/pool"
 	"aim/internal/queryinfo"
 	"aim/internal/sqlparser"
 	"aim/internal/workload"
@@ -35,6 +36,8 @@ type Generator struct {
 	// ArbitraryRangeColumn skips the dataless-index probe of Algorithm 5
 	// and takes the first range column instead (ablation knob).
 	ArbitraryRangeColumn bool
+	// Parallelism bounds the per-query generation fan-out (0 = GOMAXPROCS).
+	Parallelism int
 }
 
 // boundSelect reconstructs an executable SELECT for a normalized query by
@@ -59,24 +62,35 @@ func boundSelect(q *workload.QueryStats) *sqlparser.Select {
 // mode, generate partial orders from the selection, group-by and order-by
 // structure, then merge them to a fixpoint.
 func (g *Generator) GenerateCandidates(queries []*workload.QueryStats) []*PartialOrder {
-	var pos []*PartialOrder
-	for _, q := range queries {
+	// Per-query generation (which probes the what-if optimizer for covering
+	// decisions and range-column selection) fans out over the worker pool;
+	// each query's partial orders land in its own slot and are concatenated
+	// in workload order, so the merged pool is identical at any pool size.
+	perQ := make([][]*PartialOrder, len(queries))
+	pool.ForEach(pool.Workers(g.Parallelism), len(queries), func(qi int) {
+		q := queries[qi]
 		if q.IsDML() {
-			continue
+			return
 		}
 		sel := boundSelect(q)
 		if sel == nil {
-			continue
+			return
 		}
 		info, err := queryinfo.Analyze(sel, g.DB.Schema)
 		if err != nil {
-			continue // e.g. table since dropped
+			return // e.g. table since dropped
 		}
 		mode := g.TryCoveringIndex(q, sel, info)
 		src := Source{Normalized: q.Normalized, Covering: mode}
-		pos = append(pos, g.forSelection(sel, info, mode, src)...)
-		pos = append(pos, g.forGroupBy(sel, info, mode, src)...)
-		pos = append(pos, g.forOrderBy(sel, info, mode, src)...)
+		var out []*PartialOrder
+		out = append(out, g.forSelection(sel, info, mode, src)...)
+		out = append(out, g.forGroupBy(sel, info, mode, src)...)
+		out = append(out, g.forOrderBy(sel, info, mode, src)...)
+		perQ[qi] = out
+	})
+	var pos []*PartialOrder
+	for _, qpos := range perQ {
+		pos = append(pos, qpos...)
 	}
 	if g.DisableMerging {
 		return dedupePartialOrders(pos)
@@ -108,7 +122,7 @@ func (g *Generator) TryCoveringIndex(q *workload.QueryStats, sel *sqlparser.Sele
 	if !g.EnableCovering || q.Executions < g.CoveringMinExecutions {
 		return false
 	}
-	est, err := g.DB.Optimizer.EstimateSelect(sel, nil)
+	est, err := g.DB.WhatIf.EstimateSelect(sel, nil)
 	if err != nil {
 		return false
 	}
@@ -242,7 +256,7 @@ func (g *Generator) selectRangeColumn(sel *sqlparser.Select, table string, ipp [
 		hypo := &catalog.Index{
 			Name: "dataless_probe", Table: table, Columns: cols, Hypothetical: true,
 		}
-		est, err := g.DB.Optimizer.EstimateSelectConfig(sel, []*catalog.Index{hypo})
+		est, err := g.DB.WhatIf.EstimateSelectConfig(sel, []*catalog.Index{hypo})
 		if err != nil {
 			continue
 		}

@@ -263,34 +263,63 @@ func mergeSources(a, b []Source) []Source {
 // input orders are retained alongside merged ones; callers deduplicate by
 // utility during selection.
 func MergePartialOrders(pos []*PartialOrder) []*PartialOrder {
-	pool := map[string]*PartialOrder{}
-	var order []string
-	add := func(po *PartialOrder) bool {
+	idxByKey := map[string]int{}
+	var items []*PartialOrder
+	add := func(po *PartialOrder) (int, bool) {
 		k := po.Key()
-		if existing, ok := pool[k]; ok {
+		if i, ok := idxByKey[k]; ok {
+			existing := items[i]
 			merged := mergeSources(existing.Sources, po.Sources)
 			if len(merged) != len(existing.Sources) {
 				existing.Sources = merged
 			}
-			return false
+			return i, false
 		}
-		pool[k] = po
-		order = append(order, k)
-		return true
+		idxByKey[k] = len(items)
+		items = append(items, po)
+		return len(items) - 1, true
 	}
 	for _, po := range pos {
 		add(po)
 	}
-	// Fixpoint iteration; the pool only grows, so comparing new pairs is
-	// enough. A generous cap guards against pathological inputs.
+	// Fixpoint iteration. Parts are immutable, so a pair's merge result
+	// never changes across passes; attempted memoizes it (indexed by the
+	// pair's stable positions in the append-only pool) and later passes
+	// only replay the cheap source propagation instead of recomputing the
+	// merge. Sources of pool entries can still grow between passes, and
+	// the replay forwards that growth to the merged entry exactly as a
+	// recomputation would — skipped entirely when neither parent's source
+	// list grew. A generous pass cap guards pathological inputs.
 	const maxPasses = 12
+	type attempt struct {
+		merged int // index of the merge result; -1 = pair does not merge
+		ni, nj int // parents' source counts at last propagation
+	}
+	attempted := map[int64]attempt{}
 	for pass := 0; pass < maxPasses; pass++ {
 		changed := false
-		keys := append([]string(nil), order...)
-		for i := 0; i < len(keys); i++ {
-			for j := i + 1; j < len(keys); j++ {
-				m := MergeCandidatesPairwise(pool[keys[i]], pool[keys[j]])
-				if m != nil && add(m) {
+		n := len(items)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				a, b := items[i], items[j]
+				pair := int64(i)<<32 | int64(j)
+				if at, done := attempted[pair]; done {
+					if at.merged >= 0 && (len(a.Sources) != at.ni || len(b.Sources) != at.nj) {
+						m := items[at.merged]
+						m.Sources = mergeSources(m.Sources, mergeSources(a.Sources, b.Sources))
+						at.ni, at.nj = len(a.Sources), len(b.Sources)
+						attempted[pair] = at
+					}
+					continue
+				}
+				m := MergeCandidatesPairwise(a, b)
+				if m == nil {
+					attempted[pair] = attempt{merged: -1}
+					continue
+				}
+				idx, fresh := add(m)
+				attempted[pair] = attempt{merged: idx, ni: len(a.Sources), nj: len(b.Sources)}
+				if fresh {
 					changed = true
 				}
 			}
@@ -299,9 +328,5 @@ func MergePartialOrders(pos []*PartialOrder) []*PartialOrder {
 			break
 		}
 	}
-	out := make([]*PartialOrder, 0, len(order))
-	for _, k := range order {
-		out = append(out, pool[k])
-	}
-	return out
+	return items
 }

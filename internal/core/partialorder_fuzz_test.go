@@ -1,0 +1,131 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// parsePO turns "a,b|c" into a partial order: parts separated by '|',
+// columns by ','. Returns nil for inputs that normalize to nothing.
+func parsePO(table, s string) *PartialOrder {
+	if len(s) > 64 {
+		return nil
+	}
+	var parts [][]string
+	total := 0
+	for _, rawPart := range strings.Split(s, "|") {
+		var cols []string
+		for _, c := range strings.Split(rawPart, ",") {
+			c = strings.TrimSpace(c)
+			if c != "" {
+				cols = append(cols, c)
+				total++
+			}
+		}
+		if len(cols) > 0 {
+			parts = append(parts, cols)
+		}
+	}
+	if len(parts) == 0 || total > 8 {
+		return nil
+	}
+	po := NewPartialOrder(table, parts...)
+	if po.Width() == 0 {
+		return nil
+	}
+	return po
+}
+
+// FuzzMergeCandidatesPairwise drives §III-E's merge with arbitrary pairs of
+// partial orders and checks its core contract:
+//
+//  1. acceptance is symmetric: merge(a,b) succeeds iff merge(b,a) does;
+//  2. cross-table pairs never merge;
+//  3. a merged order contains exactly the union of both column sets, each
+//     column exactly once;
+//  4. every precedence constraint of either source is preserved;
+//  5. the merged order's canonical linearization is accepted by both
+//     sources' Satisfies — i.e. an index built from the merge can serve
+//     both originating queries.
+func FuzzMergeCandidatesPairwise(f *testing.F) {
+	// Seeds mirror the cases exercised by the unit tests: the paper's
+	// worked example, a precedence conflict, an outside column preceding,
+	// a refinement, disjoint sets, and a cross-table pair.
+	f.Add("col1,col2,col3", "col2,col3", true)
+	f.Add("a|b", "b|a|c", true)
+	f.Add("c2", "c1|c2", true)
+	f.Add("a,b", "a|b", true)
+	f.Add("a", "b", true)
+	f.Add("a,b", "a,b,c", false)
+	f.Add("a|b|c", "a,b,c,d", true)
+	f.Add("x,y|z", "x,y", true)
+
+	f.Fuzz(func(t *testing.T, aStr, bStr string, sameTable bool) {
+		tableB := "t1"
+		if !sameTable {
+			tableB = "t2"
+		}
+		a := parsePO("t1", aStr)
+		b := parsePO(tableB, bStr)
+		if a == nil || b == nil {
+			t.Skip()
+		}
+		ab := MergeCandidatesPairwise(a, b)
+		ba := MergeCandidatesPairwise(b, a)
+
+		if (ab == nil) != (ba == nil) {
+			t.Fatalf("asymmetric acceptance: merge(a,b)=%v merge(b,a)=%v for a=%s b=%s", ab, ba, a, b)
+		}
+		if !sameTable && ab != nil {
+			t.Fatalf("cross-table orders merged: %s + %s -> %s", a, b, ab)
+		}
+		if ab == nil {
+			return
+		}
+
+		// Column union, each exactly once.
+		union := map[string]bool{}
+		for c := range a.ColumnSet() {
+			union[c] = true
+		}
+		for c := range b.ColumnSet() {
+			union[c] = true
+		}
+		seen := map[string]int{}
+		for _, c := range ab.Columns() {
+			seen[c]++
+		}
+		if len(seen) != len(union) {
+			t.Fatalf("merged columns %v != union of %s and %s", ab.Columns(), a, b)
+		}
+		for c, n := range seen {
+			if !union[c] {
+				t.Fatalf("merged order invented column %q: %s", c, ab)
+			}
+			if n != 1 {
+				t.Fatalf("column %q appears %d times in %s", c, n, ab)
+			}
+		}
+
+		// Precedence preservation from both sources.
+		for _, src := range []*PartialOrder{a, b} {
+			cols := src.Columns()
+			for _, x := range cols {
+				for _, y := range cols {
+					if src.Precedes(x, y) && !ab.Precedes(x, y) {
+						t.Fatalf("merge lost precedence %s≺%s of %s: %s", x, y, src, ab)
+					}
+				}
+			}
+		}
+
+		// The canonical linearization serves both source queries.
+		lin := ab.Columns()
+		if !ab.Satisfies(lin) {
+			t.Fatalf("merged order rejects its own linearization %v: %s", lin, ab)
+		}
+		if !a.Satisfies(lin) || !b.Satisfies(lin) {
+			t.Fatalf("linearization %v of %s does not satisfy both sources %s, %s", lin, ab, a, b)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"aim/internal/catalog"
+	"aim/internal/pool"
 	"aim/internal/sqlparser"
 	"aim/internal/workload"
 )
@@ -38,67 +39,83 @@ func (c *Candidate) UtilityPerByte() float64 {
 
 // rankCandidates computes Eq. 7 gains and Eq. 8 maintenance discounts for
 // every candidate against the representative workload.
+//
+// The per-query what-if costing fans out over a bounded worker pool; each
+// worker writes its query's result into its own slot and the per-candidate
+// accumulation happens afterwards, sequentially, in workload order — so the
+// float folds (and therefore the recommendation) are bit-identical no
+// matter the pool size.
 func (a *Advisor) rankCandidates(cands []*Candidate, queries []*workload.QueryStats) error {
 	existing := a.materializedIndexes()
-	byKey := map[string]*Candidate{}
+	byKey := map[string]int{}
 	var allIdx []*catalog.Index
-	for _, c := range cands {
-		byKey[c.Index.Key()] = c
+	for i, c := range cands {
+		byKey[c.Index.Key()] = i
 		allIdx = append(allIdx, c.Index)
 	}
+	workers := pool.Workers(a.Cfg.Parallelism)
+	whatIf := a.DB.WhatIf
 
 	// Gains: per query, cost with vs without the candidates generated for
 	// it; the gain is shared among the candidates the optimizer would use.
-	for _, q := range queries {
+	type share struct {
+		cand int
+		gain float64
+	}
+	gainShares := make([][]share, len(queries))
+	pool.ForEach(workers, len(queries), func(qi int) {
+		q := queries[qi]
 		if q.IsDML() {
-			continue
+			return
 		}
 		sel := boundSelect(q)
 		if sel == nil {
-			continue
+			return
 		}
 		var forQ []*catalog.Index
-		var forQCands []*Candidate
-		for _, c := range cands {
+		forQCand := map[string]int{} // index key -> candidate position
+		for ci, c := range cands {
 			for _, s := range c.PO.Sources {
 				if s.Normalized == q.Normalized {
 					forQ = append(forQ, c.Index)
-					forQCands = append(forQCands, c)
+					forQCand[c.Index.Key()] = ci
 					break
 				}
 			}
 		}
 		if len(forQ) == 0 {
-			continue
+			return
 		}
-		base, err := a.DB.Optimizer.EstimateSelectConfig(sel, existing)
+		base, err := whatIf.EstimateSelectConfig(sel, existing)
 		if err != nil {
-			continue
+			return
 		}
-		with, err := a.DB.Optimizer.EstimateSelectConfig(sel, append(append([]*catalog.Index(nil), existing...), forQ...))
+		with, err := whatIf.EstimateSelectConfig(sel, append(append([]*catalog.Index(nil), existing...), forQ...))
 		if err != nil {
-			continue
+			return
 		}
 		if base.Cost <= 0 || with.Cost >= base.Cost {
-			continue
+			return
 		}
 		uPlus := (base.Cost - with.Cost) / base.Cost * q.CPUSeconds
 		if q.Weight > 0 {
 			uPlus *= q.Weight
 		}
-		// Share ∝ the I/O reduction each used candidate provides.
-		type share struct {
-			c *Candidate
-			w float64
+		// Share ∝ the I/O reduction each used candidate provides. Only the
+		// candidates generated for this query are in the configuration, so
+		// attribution goes through forQCand.
+		type weighted struct {
+			cand int
+			w    float64
 		}
-		var shares []share
+		var raw []weighted
 		total := 0.0
 		for _, u := range with.Used {
 			if u.Index == nil {
 				continue
 			}
-			c := byKey[u.Index.Key()]
-			if c == nil {
+			ci, ok := forQCand[u.Index.Key()]
+			if !ok {
 				continue // an existing index, not a candidate
 			}
 			rows := 1.0
@@ -109,45 +126,66 @@ func (a *Advisor) rankCandidates(cands []*Candidate, queries []*workload.QuerySt
 			if w < 1 {
 				w = 1
 			}
-			shares = append(shares, share{c, w})
+			raw = append(raw, weighted{ci, w})
 			total += w
 		}
-		for _, s := range shares {
-			g := uPlus * s.w / total
-			s.c.Gain += g
-			if s.c.PerQueryGain == nil {
-				s.c.PerQueryGain = map[string]float64{}
-			}
-			s.c.PerQueryGain[q.Normalized] += g
+		shares := make([]share, 0, len(raw))
+		for _, r := range raw {
+			shares = append(shares, share{r.cand, uPlus * r.w / total})
 		}
-		_ = forQCands
+		gainShares[qi] = shares
+	})
+	for qi, shares := range gainShares {
+		q := queries[qi]
+		for _, s := range shares {
+			c := cands[s.cand]
+			c.Gain += s.gain
+			if c.PerQueryGain == nil {
+				c.PerQueryGain = map[string]float64{}
+			}
+			c.PerQueryGain[q.Normalized] += s.gain
+		}
 	}
 
 	// Maintenance: per DML query, attribute per-candidate index update cost
 	// relative to the statement's base cost (Eq. 8).
-	for _, q := range queries {
+	type upkeep struct {
+		cand int
+		m    float64
+	}
+	maintRes := make([][]upkeep, len(queries))
+	pool.ForEach(workers, len(queries), func(qi int) {
+		q := queries[qi]
 		if !q.IsDML() {
-			continue
+			return
 		}
 		stmt := boundDML(q)
-		baseEst, err := a.DB.Optimizer.EstimateDMLConfig(stmt, existing)
+		baseEst, err := whatIf.EstimateDMLConfig(stmt, existing)
 		if err != nil {
-			continue
+			return
 		}
 		denom := baseEst.TotalCost()
 		if denom <= 0 {
-			continue
+			return
 		}
-		withEst, err := a.DB.Optimizer.EstimateDMLConfig(stmt, append(append([]*catalog.Index(nil), existing...), allIdx...))
+		withEst, err := whatIf.EstimateDMLConfig(stmt, append(append([]*catalog.Index(nil), existing...), allIdx...))
 		if err != nil {
-			continue
+			return
 		}
+		var out []upkeep
 		for key, m := range withEst.IndexMaintenance {
-			c := byKey[key]
-			if c == nil {
+			ci, ok := byKey[key]
+			if !ok {
 				continue
 			}
-			c.Maintenance += m / denom * q.CPUSeconds
+			out = append(out, upkeep{ci, m / denom * q.CPUSeconds})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].cand < out[j].cand })
+		maintRes[qi] = out
+	})
+	for _, ms := range maintRes {
+		for _, m := range ms {
+			cands[m.cand].Maintenance += m.m
 		}
 	}
 

@@ -1,0 +1,174 @@
+// Package costcache memoizes what-if optimizer estimates behind a sharded,
+// bounded LRU. Advisors re-cost the same (query, index-configuration) pairs
+// constantly — AIM's ranking re-costs every query's base configuration,
+// DTA's greedy re-costs the whole workload per move — and CoPhy identifies
+// this call volume as the scalability limit of index advisors. The cache
+// keys on a normalized query fingerprint plus the sorted fingerprint of the
+// configuration's *relevant* indexes (only indexes on tables the statement
+// touches can change its plan), so a candidate index on another table never
+// forces a re-plan.
+//
+// Cached values are immutable: callers must not mutate a returned Estimate
+// or DMLEstimate, and the Index pointers inside a cached plan may come from
+// an earlier, equivalent configuration (compare by Index.Key, not pointer).
+package costcache
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// DefaultCapacity bounds the total number of cached estimates per DB.
+	DefaultCapacity = 32768
+	shardCount      = 16
+)
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	// Entries is the current number of cached estimates (absolute, not a
+	// counter).
+	Entries int64
+}
+
+// Delta returns the counter movement since prev; Entries stays absolute.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Hits:      s.Hits - prev.Hits,
+		Misses:    s.Misses - prev.Misses,
+		Evictions: s.Evictions - prev.Evictions,
+		Entries:   s.Entries,
+	}
+}
+
+// HitRate returns hits / (hits + misses), or 0 with no traffic.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a sharded, bounded LRU mapping string keys to immutable values.
+// All methods are safe for concurrent use.
+type Cache struct {
+	hits      int64
+	misses    int64
+	evictions int64
+	perShard  int
+	shards    [shardCount]shard
+}
+
+type shard struct {
+	mu    sync.Mutex
+	lru   *list.List // front = most recently used
+	byKey map[string]*list.Element
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// NewCache returns a cache bounded to roughly capacity entries (distributed
+// over the shards); capacity <= 0 selects DefaultCapacity.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	per := (capacity + shardCount - 1) / shardCount
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].lru = list.New()
+		c.shards[i].byKey = map[string]*list.Element{}
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%shardCount]
+}
+
+// Get returns the cached value for key and promotes it to most recently
+// used.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.byKey[key]
+	var val any
+	if ok {
+		s.lru.MoveToFront(el)
+		val = el.Value.(*entry).val
+	}
+	s.mu.Unlock()
+	if ok {
+		atomic.AddInt64(&c.hits, 1)
+		return val, true
+	}
+	atomic.AddInt64(&c.misses, 1)
+	return nil, false
+}
+
+// Put inserts a value, evicting the shard's least recently used entry when
+// full. Estimates are deterministic functions of their key, so a concurrent
+// duplicate insert keeps the existing entry.
+func (c *Cache) Put(key string, val any) {
+	s := c.shardFor(key)
+	var evicted int64
+	s.mu.Lock()
+	if el, ok := s.byKey[key]; ok {
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	s.byKey[key] = s.lru.PushFront(&entry{key: key, val: val})
+	for s.lru.Len() > c.perShard {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.byKey, back.Value.(*entry).key)
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		atomic.AddInt64(&c.evictions, evicted)
+	}
+}
+
+// Invalidate drops every entry (statistics or schema changed underneath the
+// estimates). Counters are preserved.
+func (c *Cache) Invalidate() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.lru.Init()
+		s.byKey = map[string]*list.Element{}
+		s.mu.Unlock()
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	out := Stats{
+		Hits:      atomic.LoadInt64(&c.hits),
+		Misses:    atomic.LoadInt64(&c.misses),
+		Evictions: atomic.LoadInt64(&c.evictions),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out.Entries += int64(s.lru.Len())
+		s.mu.Unlock()
+	}
+	return out
+}

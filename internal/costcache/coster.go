@@ -1,0 +1,170 @@
+package costcache
+
+import (
+	"sort"
+	"strings"
+
+	"aim/internal/catalog"
+	"aim/internal/optimizer"
+	"aim/internal/sqlparser"
+)
+
+// Coster wraps an Optimizer's what-if entry points with the memo cache.
+// Every advisor (AIM and the baselines) costs through a Coster, so repeated
+// (query, relevant-configuration) pairs are planned once.
+//
+// Calls accounting: the optimizer's Calls() counter remains the *logical*
+// what-if invocation count of §VIII(a) — on a cache hit the Coster replays
+// the number of calls the memoized estimate originally consumed, so
+// algorithm comparisons by optimizer-call volume are unaffected by caching
+// while wall-clock time is not.
+type Coster struct {
+	Opt   *optimizer.Optimizer
+	cache *Cache
+}
+
+// NewCoster returns a Coster memoizing into a fresh cache of the given
+// capacity (<= 0 selects DefaultCapacity).
+func NewCoster(opt *optimizer.Optimizer, capacity int) *Coster {
+	return &Coster{Opt: opt, cache: NewCache(capacity)}
+}
+
+// CacheStats snapshots the underlying cache counters.
+func (cs *Coster) CacheStats() Stats { return cs.cache.Stats() }
+
+// Invalidate drops all memoized estimates; the engine calls it whenever
+// statistics or the materialized schema change.
+func (cs *Coster) Invalidate() { cs.cache.Invalidate() }
+
+// selResult memoizes one select estimate (or its error).
+type selResult struct {
+	est *optimizer.Estimate
+	err error
+}
+
+// dmlResult memoizes one DML estimate (or its error).
+type dmlResult struct {
+	est *optimizer.DMLEstimate
+	err error
+}
+
+// callsFor is the deterministic number of optimizer invocations one what-if
+// request consumes: SELECTs and INSERTs plan once; UPDATE/DELETE plan their
+// WHERE clause as a nested SELECT, consuming two.
+func callsFor(stmt sqlparser.Statement) int64 {
+	switch stmt.(type) {
+	case *sqlparser.Update, *sqlparser.Delete:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// stmtTables returns the lower-cased tables a statement touches; only
+// indexes on these tables can influence its plan.
+func stmtTables(stmt sqlparser.Statement) map[string]bool {
+	out := map[string]bool{}
+	switch s := stmt.(type) {
+	case *sqlparser.Select:
+		for _, tr := range s.Tables {
+			out[strings.ToLower(tr.Name)] = true
+		}
+	case *sqlparser.Insert:
+		out[strings.ToLower(s.Table)] = true
+	case *sqlparser.Update:
+		out[strings.ToLower(s.Table)] = true
+	case *sqlparser.Delete:
+		out[strings.ToLower(s.Table)] = true
+	}
+	return out
+}
+
+// key builds the memo key: mode tag, the statement's rendered SQL (bound
+// parameters render as literals, placeholders as '?'), and the sorted
+// catalog keys of the configuration's relevant indexes.
+func key(mode string, stmt sqlparser.Statement, config []*catalog.Index) string {
+	tables := stmtTables(stmt)
+	keys := make([]string, 0, len(config))
+	seen := map[string]bool{}
+	for _, ix := range config {
+		if !tables[strings.ToLower(ix.Table)] {
+			continue
+		}
+		k := ix.Key()
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(mode)
+	b.WriteByte('\x00')
+	b.WriteString(stmt.SQL())
+	b.WriteByte('\x00')
+	b.WriteString(strings.Join(keys, ";"))
+	return b.String()
+}
+
+func (cs *Coster) selectVia(mode string, sel *sqlparser.Select, config []*catalog.Index,
+	compute func() (*optimizer.Estimate, error)) (*optimizer.Estimate, error) {
+	if cs == nil || cs.cache == nil {
+		return compute()
+	}
+	k := key(mode, sel, config)
+	if v, ok := cs.cache.Get(k); ok {
+		r := v.(*selResult)
+		cs.Opt.AddCalls(callsFor(sel))
+		return r.est, r.err
+	}
+	est, err := compute()
+	cs.cache.Put(k, &selResult{est: est, err: err})
+	return est, err
+}
+
+func (cs *Coster) dmlVia(mode string, stmt sqlparser.Statement, config []*catalog.Index,
+	compute func() (*optimizer.DMLEstimate, error)) (*optimizer.DMLEstimate, error) {
+	if cs == nil || cs.cache == nil {
+		return compute()
+	}
+	k := key(mode, stmt, config)
+	if v, ok := cs.cache.Get(k); ok {
+		r := v.(*dmlResult)
+		cs.Opt.AddCalls(callsFor(stmt))
+		return r.est, r.err
+	}
+	est, err := compute()
+	cs.cache.Put(k, &dmlResult{est: est, err: err})
+	return est, err
+}
+
+// EstimateSelectConfig memoizes Optimizer.EstimateSelectConfig — cost(q, X)
+// under exactly configuration X, the advisors' hot path.
+func (cs *Coster) EstimateSelectConfig(sel *sqlparser.Select, config []*catalog.Index) (*optimizer.Estimate, error) {
+	return cs.selectVia("sc", sel, config, func() (*optimizer.Estimate, error) {
+		return cs.Opt.EstimateSelectConfig(sel, config)
+	})
+}
+
+// EstimateSelect memoizes Optimizer.EstimateSelect (materialized schema
+// indexes plus extras). The engine invalidates the cache on any schema or
+// statistics change, so the schema's index set needs no key component.
+func (cs *Coster) EstimateSelect(sel *sqlparser.Select, extra []*catalog.Index) (*optimizer.Estimate, error) {
+	return cs.selectVia("ss", sel, extra, func() (*optimizer.Estimate, error) {
+		return cs.Opt.EstimateSelect(sel, extra)
+	})
+}
+
+// EstimateDMLConfig memoizes Optimizer.EstimateDMLConfig.
+func (cs *Coster) EstimateDMLConfig(stmt sqlparser.Statement, config []*catalog.Index) (*optimizer.DMLEstimate, error) {
+	return cs.dmlVia("dc", stmt, config, func() (*optimizer.DMLEstimate, error) {
+		return cs.Opt.EstimateDMLConfig(stmt, config)
+	})
+}
+
+// EstimateDML memoizes Optimizer.EstimateDML.
+func (cs *Coster) EstimateDML(stmt sqlparser.Statement, extra []*catalog.Index) (*optimizer.DMLEstimate, error) {
+	return cs.dmlVia("ds", stmt, extra, func() (*optimizer.DMLEstimate, error) {
+		return cs.Opt.EstimateDML(stmt, extra)
+	})
+}

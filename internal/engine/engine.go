@@ -6,8 +6,10 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"aim/internal/catalog"
+	"aim/internal/costcache"
 	"aim/internal/exec"
 	"aim/internal/optimizer"
 	"aim/internal/sqlparser"
@@ -21,11 +23,16 @@ const DefaultSampleLimit = 5000
 
 // DB is one logical database.
 type DB struct {
-	Name       string
-	Schema     *catalog.Schema
-	Store      *storage.Store
-	Optimizer  *optimizer.Optimizer
+	Name      string
+	Schema    *catalog.Schema
+	Store     *storage.Store
+	Optimizer *optimizer.Optimizer
+	// WhatIf memoizes what-if estimates behind a sharded LRU; all advisor
+	// costing routes through it. The engine invalidates it whenever
+	// statistics or the materialized schema change.
+	WhatIf     *costcache.Coster
 	executor   *exec.Executor
+	mu         sync.RWMutex // guards statsCache and writesSince
 	statsCache map[string]*stats.TableStats
 	// autoAnalyzeEvery re-collects a table's stats after this many writes.
 	writesSince map[string]int
@@ -41,21 +48,32 @@ func New(name string) *DB {
 		writesSince: map[string]int{},
 	}
 	db.Optimizer = optimizer.New(db.Schema, db)
+	db.WhatIf = costcache.NewCoster(db.Optimizer, costcache.DefaultCapacity)
 	db.executor = exec.New(db.Store)
 	return db
 }
 
-// TableStats implements optimizer.StatsProvider with lazy collection.
+// TableStats implements optimizer.StatsProvider with lazy collection. It is
+// safe for concurrent use; the first caller for a table collects under the
+// write lock.
 func (db *DB) TableStats(table string) *stats.TableStats {
 	key := strings.ToLower(table)
-	if ts, ok := db.statsCache[key]; ok {
+	db.mu.RLock()
+	ts, ok := db.statsCache[key]
+	db.mu.RUnlock()
+	if ok {
 		return ts
 	}
 	tbl := db.Store.Table(table)
 	if tbl == nil {
 		return nil
 	}
-	ts := stats.Collect(tbl, DefaultSampleLimit)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if ts, ok := db.statsCache[key]; ok {
+		return ts // another goroutine collected while we waited
+	}
+	ts = stats.Collect(tbl, DefaultSampleLimit)
 	db.statsCache[key] = ts
 	return ts
 }
@@ -67,6 +85,7 @@ func (db *DB) Analyze(tables ...string) {
 			tables = append(tables, t.Name)
 		}
 	}
+	db.mu.Lock()
 	for _, t := range tables {
 		tbl := db.Store.Table(t)
 		if tbl == nil {
@@ -74,6 +93,8 @@ func (db *DB) Analyze(tables ...string) {
 		}
 		db.statsCache[strings.ToLower(t)] = stats.Collect(tbl, DefaultSampleLimit)
 	}
+	db.mu.Unlock()
+	db.WhatIf.Invalidate()
 }
 
 // Result is the outcome of one statement execution.
@@ -236,15 +257,20 @@ func (db *DB) execUpdateDelete(stmt sqlparser.Statement) (*Result, error) {
 // noteWrites invalidates cached statistics after enough churn.
 func (db *DB) noteWrites(table string, n int) {
 	key := strings.ToLower(table)
+	invalidated := false
+	db.mu.Lock()
 	db.writesSince[key] += n
-	ts := db.statsCache[key]
-	if ts == nil {
-		return
+	if ts := db.statsCache[key]; ts != nil {
+		threshold := int(ts.RowCount/5) + 100
+		if db.writesSince[key] >= threshold {
+			delete(db.statsCache, key)
+			db.writesSince[key] = 0
+			invalidated = true
+		}
 	}
-	threshold := int(ts.RowCount/5) + 100
-	if db.writesSince[key] >= threshold {
-		delete(db.statsCache, key)
-		db.writesSince[key] = 0
+	db.mu.Unlock()
+	if invalidated {
+		db.WhatIf.Invalidate()
 	}
 }
 
@@ -280,6 +306,7 @@ func (db *DB) CreateIndex(def *catalog.Index) (*Result, error) {
 		db.Schema.DropIndex(def.Name)
 		return nil, err
 	}
+	db.WhatIf.Invalidate()
 	return &Result{Stats: exec.Stats{RowsRead: m.RowsRead, PageReads: m.PageReads, IndexWrites: m.IndexWrites}}, nil
 }
 
@@ -293,6 +320,7 @@ func (db *DB) DropIndex(name string) (*Result, error) {
 	if tbl := db.Store.Table(ix.Table); tbl != nil {
 		tbl.DropIndex(name)
 	}
+	db.WhatIf.Invalidate()
 	return &Result{}, nil
 }
 
@@ -348,10 +376,13 @@ func (db *DB) Clone(name string) *DB {
 		statsCache:  map[string]*stats.TableStats{},
 		writesSince: map[string]int{},
 	}
+	db.mu.RLock()
 	for k, v := range db.statsCache {
 		out.statsCache[k] = v
 	}
+	db.mu.RUnlock()
 	out.Optimizer = optimizer.New(out.Schema, out)
+	out.WhatIf = costcache.NewCoster(out.Optimizer, costcache.DefaultCapacity)
 	out.executor = exec.New(out.Store)
 	return out
 }

@@ -2,6 +2,7 @@ package optimizer
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync/atomic"
 
@@ -28,6 +29,12 @@ func (o *Optimizer) Calls() int64 { return atomic.LoadInt64(&o.calls) }
 
 // ResetCalls zeroes the invocation counter.
 func (o *Optimizer) ResetCalls() { atomic.StoreInt64(&o.calls, 0) }
+
+// AddCalls adds n logical invocations to the counter. The cost cache uses
+// it to replay the calls a memoized estimate originally consumed, so that
+// Calls() stays the §VIII(a) what-if invocation count independent of
+// caching.
+func (o *Optimizer) AddCalls(n int64) { atomic.AddInt64(&o.calls, n) }
 
 func (o *Optimizer) countCall() { atomic.AddInt64(&o.calls, 1) }
 
@@ -411,11 +418,18 @@ type DMLEstimate struct {
 	IndexMaintenance map[string]float64
 }
 
-// TotalCost returns base plus all maintenance costs.
+// TotalCost returns base plus all maintenance costs. The sum runs in sorted
+// key order so the float fold is bit-identical across runs (map iteration
+// order would otherwise leak into advisor output at ULP granularity).
 func (d *DMLEstimate) TotalCost() float64 {
+	keys := make([]string, 0, len(d.IndexMaintenance))
+	for k := range d.IndexMaintenance {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	t := d.BaseCost
-	for _, c := range d.IndexMaintenance {
-		t += c
+	for _, k := range keys {
+		t += d.IndexMaintenance[k]
 	}
 	return t
 }

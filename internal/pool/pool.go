@@ -1,0 +1,61 @@
+// Package pool provides a bounded, deterministic fan-out helper for the
+// advisor's what-if costing loops. Work items are identified by index so
+// callers can collect per-item results into pre-sized slices and fold them
+// in input order afterwards — the fold order, not the execution order,
+// determines the output, which is how parallel advisor runs stay
+// byte-identical to sequential ones.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested pool size: values <= 0 mean GOMAXPROCS.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach invokes fn(i) for every i in [0, n), fanning out over at most
+// workers goroutines, and returns once every call has completed. workers <= 0
+// means GOMAXPROCS. With a single worker (or a single item) the calls run
+// inline in index order, which is the advisor's sequential reference mode.
+//
+// fn must write results only to its own slot i of any shared output; ForEach
+// provides the necessary happens-before edge between the last fn return and
+// ForEach returning.
+func ForEach(workers, n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,53 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefaults(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 32} {
+		const n = 1000
+		counts := make([]int32, n)
+		ForEach(workers, n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	called := false
+	ForEach(4, 0, func(int) { called = true })
+	if called {
+		t.Fatal("fn called with no items")
+	}
+}
+
+func TestForEachSequentialWhenSingleWorker(t *testing.T) {
+	// workers==1 must run inline, in order — the determinism baseline.
+	var order []int
+	ForEach(1, 50, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("out of order at %d: %d", i, v)
+		}
+	}
+}
