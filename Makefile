@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race benchsmoke bench clean
+.PHONY: check vet build test race benchsmoke metricssmoke bench clean
 
 # check is the tier-1 gate: everything here must pass before a change lands.
-check: vet build race benchsmoke
+check: vet build race benchsmoke metricssmoke
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +22,12 @@ race:
 # real benchmarking run. '^$$' skips unit tests; only benchmarks execute.
 benchsmoke:
 	$(GO) test -run '^$$' -bench BenchmarkAdvisor -benchtime 1x .
+
+# Observability overhead gate: a fully instrumented advisor run must stay
+# within 5% of an uninstrumented one. Wall-clock sensitive, so it is
+# env-gated out of plain `go test ./...`.
+metricssmoke:
+	AIM_METRICS_SMOKE=1 $(GO) test -run TestMetricsOverheadSmoke ./internal/core/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 3x .

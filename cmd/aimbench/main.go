@@ -12,7 +12,10 @@
 //	aimbench -exp continuous          # workload-shift continuous tuning
 //	aimbench -exp all                 # everything (slow)
 //
-// -fast shrinks datasets for quick smoke runs.
+// -fast shrinks datasets for quick smoke runs. -metrics dumps the
+// observability registry (counters, gauges, what-if latency percentiles,
+// per-phase span timings) after each experiment; -trace-out writes every
+// span as a JSON line for offline flame-graph analysis.
 package main
 
 import (
@@ -24,8 +27,14 @@ import (
 	"text/tabwriter"
 
 	"aim/internal/experiments"
+	"aim/internal/obs"
+	"aim/internal/pool"
 	"aim/internal/workloads/products"
 )
+
+// obsReg is non-nil when -metrics or -trace-out is set; the run helpers
+// thread it into every experiment's options.
+var obsReg *obs.Registry
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table2|fig3|fig4|fig5|fig6|continuous|all")
@@ -33,6 +42,8 @@ func main() {
 	product := flag.String("product", "C", "product for fig3: A..G")
 	fast := flag.Bool("fast", false, "reduced dataset sizes")
 	workers := flag.Int("workers", 0, "cap what-if costing parallelism (0 = all cores)")
+	metrics := flag.Bool("metrics", false, "print the metrics registry after each experiment")
+	traceOut := flag.String("trace-out", "", "write advisor spans as JSON lines to this file")
 	flag.Parse()
 
 	// The experiments construct their advisor configs internally with the
@@ -42,11 +53,29 @@ func main() {
 		runtime.GOMAXPROCS(*workers)
 	}
 
+	if *metrics || *traceOut != "" {
+		obsReg = obs.NewRegistry()
+		pool.Instrument(obsReg)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aimbench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			obsReg.SetTraceWriter(f)
+		}
+	}
+
 	run := func(name string, f func() error) {
 		fmt.Printf("\n=== %s ===\n", name)
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "aimbench: %s: %v\n", name, err)
 			os.Exit(1)
+		}
+		if *metrics {
+			fmt.Printf("\n--- metrics (%s) ---\n", name)
+			obsReg.WriteTo(os.Stdout)
 		}
 	}
 
@@ -79,6 +108,7 @@ func main() {
 
 func runTable2(fast bool) error {
 	opts := experiments.DefaultTable2Options()
+	opts.Obs = obsReg
 	specs := products.Catalog
 	if fast {
 		opts.WorkloadStatements = 300
@@ -114,6 +144,7 @@ func runFig3(product string, fast bool) error {
 		return fmt.Errorf("unknown product %q", product)
 	}
 	opts := experiments.DefaultFig3Options()
+	opts.Obs = obsReg
 	if fast {
 		spec.Tables = min(spec.Tables, 15)
 		spec.JoinQueries = min(spec.JoinQueries, 20)
@@ -150,6 +181,7 @@ func runFig3(product string, fast bool) error {
 
 func runFig4(bench string, fast bool) error {
 	opts := experiments.DefaultFig4Options(bench)
+	opts.Obs = obsReg
 	if fast {
 		opts.Scale = 0.05
 		opts.BudgetFractions = []float64{0.25, 0.5, 1.0}
@@ -169,6 +201,7 @@ func runFig4(bench string, fast bool) error {
 
 func runFig5(fast bool) error {
 	opts := experiments.DefaultFig5Options()
+	opts.Obs = obsReg
 	if fast {
 		opts.Scale = 0.05
 	}
@@ -199,6 +232,7 @@ func runFig5(fast bool) error {
 
 func runFig6(fast bool) error {
 	opts := experiments.DefaultFig6Options()
+	opts.Obs = obsReg
 	if fast {
 		opts.Rows = 1500
 		opts.PhaseTicks = 4
@@ -232,6 +266,7 @@ func runFig6(fast bool) error {
 
 func runContinuous(fast bool) error {
 	opts := experiments.DefaultContinuousOptions()
+	opts.Obs = obsReg
 	if fast {
 		opts.Rows = 2000
 		opts.WindowStatements = 150

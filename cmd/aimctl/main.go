@@ -13,6 +13,8 @@
 //
 //	aimctl -script setup.sql [-j 2] [-budget 64MiB] [-apply] [-validate]
 //	aimctl -demo                       # built-in demo script
+//	aimctl -demo -metrics              # + metrics registry dump after the run
+//	aimctl -demo -trace-out spans.json # + advisor spans as JSON lines
 package main
 
 import (
@@ -24,6 +26,8 @@ import (
 
 	"aim/internal/core"
 	"aim/internal/engine"
+	"aim/internal/obs"
+	"aim/internal/pool"
 	"aim/internal/shadow"
 	"aim/internal/workload"
 )
@@ -48,7 +52,29 @@ func main() {
 	apply := flag.Bool("apply", false, "materialize the recommendation")
 	validate := flag.Bool("validate", false, "run the shadow no-regression gate before applying")
 	workers := flag.Int("workers", 0, "what-if costing worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	metrics := flag.Bool("metrics", false, "print the metrics registry after the run")
+	traceOut := flag.String("trace-out", "", "write advisor spans as JSON lines to this file")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics || *traceOut != "" {
+		reg = obs.NewRegistry()
+		pool.Instrument(reg)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			reg.SetTraceWriter(f)
+		}
+	}
+	if *metrics {
+		defer func() {
+			fmt.Println("\n--- metrics ---")
+			reg.WriteTo(os.Stdout)
+		}()
+	}
 
 	var text string
 	switch {
@@ -66,6 +92,9 @@ func main() {
 	}
 
 	db := engine.New("aimctl")
+	if reg != nil {
+		db.SetObs(reg)
+	}
 	mon := workload.NewMonitor()
 	if err := runScript(db, mon, text, *demo); err != nil {
 		fatal(err)

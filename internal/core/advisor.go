@@ -155,6 +155,12 @@ func (a *Advisor) RecommendQueries(rep []*workload.QueryStats) (*Recommendation,
 	calls0 := a.DB.Optimizer.Calls()
 	cache0 := a.DB.WhatIf.CacheStats()
 
+	// Spans and counters are nil-safe no-ops when no registry is attached;
+	// metrics record the run, they never influence it.
+	reg := a.DB.ObsRegistry()
+	root := reg.StartSpan("advisor")
+	defer root.End()
+
 	gen := &Generator{
 		DB:                    a.DB,
 		J:                     a.Cfg.J,
@@ -165,7 +171,10 @@ func (a *Advisor) RecommendQueries(rep []*workload.QueryStats) (*Recommendation,
 		ArbitraryRangeColumn:  a.Cfg.ArbitraryRangeColumn,
 		Parallelism:           a.Cfg.Parallelism,
 	}
+	genSpan := root.Child("generate")
+	gen.span = genSpan
 	pos := gen.GenerateCandidates(rep)
+	genSpan.End()
 
 	// Linearize each partial order into one concrete candidate index,
 	// deduplicating identical column sequences.
@@ -185,10 +194,16 @@ func (a *Advisor) RecommendQueries(rep []*workload.QueryStats) (*Recommendation,
 		cands = append(cands, c)
 	}
 
-	if err := a.rankCandidates(cands, rep); err != nil {
+	rankSpan := root.Child("rank")
+	if err := a.rankCandidates(cands, rep, rankSpan); err != nil {
+		rankSpan.End()
 		return nil, err
 	}
+	rankSpan.End()
+
+	knapSpan := root.Child("knapsack")
 	picked := a.knapsackSelect(cands, a.Cfg.BudgetBytes)
+	knapSpan.End()
 
 	rec := &Recommendation{
 		Candidates:     cands,
@@ -211,10 +226,15 @@ func (a *Advisor) RecommendQueries(rep []*workload.QueryStats) (*Recommendation,
 			Queries:        queries,
 		})
 	}
+	unusedSpan := root.Child("unused")
 	rec.Drop, rec.Shrink = a.findUnusedIndexes(rep)
+	unusedSpan.End()
 	rec.OptimizerCalls = a.DB.Optimizer.Calls() - calls0
 	rec.Cache = a.DB.WhatIf.CacheStats().Delta(cache0)
 	rec.Elapsed = time.Since(start)
+	reg.Counter("core.partial_orders").Add(int64(rec.PartialOrders))
+	reg.Counter("core.candidates").Add(int64(rec.CandidateCount))
+	reg.Counter("core.selected").Add(int64(len(rec.Create)))
 	return rec, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"aim/internal/catalog"
 	"aim/internal/engine"
+	"aim/internal/obs"
 	"aim/internal/pool"
 	"aim/internal/queryinfo"
 	"aim/internal/sqlparser"
@@ -38,6 +39,14 @@ type Generator struct {
 	ArbitraryRangeColumn bool
 	// Parallelism bounds the per-query generation fan-out (0 = GOMAXPROCS).
 	Parallelism int
+
+	// span is the advisor's "advisor/generate" span (nil when tracing is
+	// off); GenerateCandidates nests its queries/merge phases under it.
+	span *obs.Span
+	// Probe counters, resolved once per GenerateCandidates call before the
+	// fan-out (written once, then only read concurrently). Nil-safe.
+	mIPPProbes      *obs.Counter
+	mCoveringProbes *obs.Counter
 }
 
 // boundSelect reconstructs an executable SELECT for a normalized query by
@@ -66,6 +75,10 @@ func (g *Generator) GenerateCandidates(queries []*workload.QueryStats) []*Partia
 	// decisions and range-column selection) fans out over the worker pool;
 	// each query's partial orders land in its own slot and are concatenated
 	// in workload order, so the merged pool is identical at any pool size.
+	reg := g.DB.ObsRegistry()
+	g.mIPPProbes = reg.Counter("core.ipp_probes")
+	g.mCoveringProbes = reg.Counter("core.covering_probes")
+	qSpan := g.span.Child("queries")
 	perQ := make([][]*PartialOrder, len(queries))
 	pool.ForEach(pool.Workers(g.Parallelism), len(queries), func(qi int) {
 		q := queries[qi]
@@ -88,10 +101,13 @@ func (g *Generator) GenerateCandidates(queries []*workload.QueryStats) []*Partia
 		out = append(out, g.forOrderBy(sel, info, mode, src)...)
 		perQ[qi] = out
 	})
+	qSpan.End()
 	var pos []*PartialOrder
 	for _, qpos := range perQ {
 		pos = append(pos, qpos...)
 	}
+	mSpan := g.span.Child("merge")
+	defer mSpan.End()
 	if g.DisableMerging {
 		return dedupePartialOrders(pos)
 	}
@@ -122,6 +138,7 @@ func (g *Generator) TryCoveringIndex(q *workload.QueryStats, sel *sqlparser.Sele
 	if !g.EnableCovering || q.Executions < g.CoveringMinExecutions {
 		return false
 	}
+	g.mCoveringProbes.Inc()
 	est, err := g.DB.WhatIf.EstimateSelect(sel, nil)
 	if err != nil {
 		return false
@@ -256,6 +273,7 @@ func (g *Generator) selectRangeColumn(sel *sqlparser.Select, table string, ipp [
 		hypo := &catalog.Index{
 			Name: "dataless_probe", Table: table, Columns: cols, Hypothetical: true,
 		}
+		g.mIPPProbes.Inc()
 		est, err := g.DB.WhatIf.EstimateSelectConfig(sel, []*catalog.Index{hypo})
 		if err != nil {
 			continue

@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"aim/internal/engine"
+	"aim/internal/obs"
+	"aim/internal/pool"
 	"aim/internal/workload"
 )
 
@@ -114,9 +116,18 @@ func renderRecommendation(rec *Recommendation) string {
 	return b.String()
 }
 
-func goldenRun(t *testing.T, build func(testing.TB) (*engine.DB, []string), parallelism int) string {
+func goldenRun(t *testing.T, build func(testing.TB) (*engine.DB, []string), parallelism int, withMetrics bool) string {
 	t.Helper()
 	db, queries := build(t)
+	if withMetrics {
+		// Full observability on: registry, span tracing, pool metrics. The
+		// recommendation must be byte-identical to an uninstrumented run.
+		reg := obs.NewRegistry()
+		reg.SetTraceWriter(&obs.TraceBuffer{})
+		db.SetObs(reg)
+		pool.Instrument(reg)
+		defer pool.Instrument(nil)
+	}
 	cfg := DefaultConfig()
 	cfg.Selection.MinExecutions = 1
 	cfg.Selection.MinBenefit = 0
@@ -145,15 +156,25 @@ func goldenRun(t *testing.T, build func(testing.TB) (*engine.DB, []string), para
 }
 
 func testGoldenDeterminism(t *testing.T, build func(testing.TB) (*engine.DB, []string)) {
-	sequential := goldenRun(t, build, 1)
+	sequential := goldenRun(t, build, 1, false)
 	if !strings.Contains(sequential, "create ") {
 		t.Fatalf("golden workload produced no recommendations:\n%s", sequential)
 	}
 	for _, workers := range []int{0, 2, 8} {
-		parallel := goldenRun(t, build, workers)
+		parallel := goldenRun(t, build, workers, false)
 		if parallel != sequential {
 			t.Errorf("parallelism=%d diverged from sequential run\n--- sequential ---\n%s--- parallel ---\n%s",
 				workers, sequential, parallel)
+		}
+	}
+	// Observability must not perturb the recommendation: with the registry,
+	// tracing and pool metrics all enabled, output stays byte-identical —
+	// sequentially and under a full worker pool.
+	for _, workers := range []int{1, 8} {
+		instrumented := goldenRun(t, build, workers, true)
+		if instrumented != sequential {
+			t.Errorf("metrics-enabled run (parallelism=%d) diverged from plain run\n--- plain ---\n%s--- instrumented ---\n%s",
+				workers, sequential, instrumented)
 		}
 	}
 }

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"aim/internal/obs"
+	"aim/internal/pool"
+	"aim/internal/workload"
+)
+
+// TestMetricsOverheadSmoke checks that a fully instrumented advisor run
+// (registry + spans + pool metrics) stays within 5% of an uninstrumented
+// run, plus a small absolute slack for timer noise. Wall-clock comparisons
+// are inherently machine-sensitive, so the test only runs when
+// AIM_METRICS_SMOKE=1 (set by `make metricssmoke`, part of `make check`) and
+// is skipped in plain `go test ./...`.
+func TestMetricsOverheadSmoke(t *testing.T) {
+	if os.Getenv("AIM_METRICS_SMOKE") == "" {
+		t.Skip("set AIM_METRICS_SMOKE=1 to run (invoked by make metricssmoke)")
+	}
+
+	setup := func(withMetrics bool) (*Advisor, *workload.Monitor, *obs.Registry) {
+		db, queries := ecommerceGoldenDB(t)
+		var reg *obs.Registry
+		if withMetrics {
+			reg = obs.NewRegistry()
+			db.SetObs(reg)
+		}
+		cfg := DefaultConfig()
+		cfg.Selection.MinExecutions = 1
+		cfg.Selection.MinBenefit = 0
+		adv := NewAdvisor(db, cfg)
+		mon := workload.NewMonitor()
+		for _, q := range queries {
+			res, err := db.Exec(q)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			for i := 0; i < 3; i++ {
+				if err := mon.Record(q, res.Stats); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return adv, mon, reg
+	}
+
+	advPlain, monPlain, _ := setup(false)
+	advMetrics, monMetrics, reg := setup(true)
+
+	timeRun := func(adv *Advisor, mon *workload.Monitor) time.Duration {
+		start := time.Now()
+		if _, err := adv.Recommend(mon); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	// Warm both advisors (stats caches, cost caches) before timing.
+	timeRun(advPlain, monPlain)
+	pool.Instrument(reg)
+	timeRun(advMetrics, monMetrics)
+	pool.Instrument(nil)
+
+	// Interleave best-of-N so ambient machine noise hits both variants.
+	const rounds = 5
+	bestPlain, bestMetrics := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < rounds; i++ {
+		if d := timeRun(advPlain, monPlain); d < bestPlain {
+			bestPlain = d
+		}
+		pool.Instrument(reg)
+		d := timeRun(advMetrics, monMetrics)
+		pool.Instrument(nil)
+		if d < bestMetrics {
+			bestMetrics = d
+		}
+	}
+
+	limit := bestPlain + bestPlain/20 + 20*time.Millisecond
+	t.Logf("plain=%v metrics=%v limit=%v", bestPlain, bestMetrics, limit)
+	if bestMetrics > limit {
+		t.Errorf("instrumented run %v exceeds %v (plain %v + 5%% + 20ms slack)",
+			bestMetrics, limit, bestPlain)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"aim/internal/catalog"
+	"aim/internal/obs"
 	"aim/internal/pool"
 	"aim/internal/sqlparser"
 	"aim/internal/workload"
@@ -45,7 +46,7 @@ func (c *Candidate) UtilityPerByte() float64 {
 // accumulation happens afterwards, sequentially, in workload order — so the
 // float folds (and therefore the recommendation) are bit-identical no
 // matter the pool size.
-func (a *Advisor) rankCandidates(cands []*Candidate, queries []*workload.QueryStats) error {
+func (a *Advisor) rankCandidates(cands []*Candidate, queries []*workload.QueryStats, span *obs.Span) error {
 	existing := a.materializedIndexes()
 	byKey := map[string]int{}
 	var allIdx []*catalog.Index
@@ -62,6 +63,7 @@ func (a *Advisor) rankCandidates(cands []*Candidate, queries []*workload.QuerySt
 		cand int
 		gain float64
 	}
+	gainSpan := span.Child("gains")
 	gainShares := make([][]share, len(queries))
 	pool.ForEach(workers, len(queries), func(qi int) {
 		q := queries[qi]
@@ -146,6 +148,7 @@ func (a *Advisor) rankCandidates(cands []*Candidate, queries []*workload.QuerySt
 			c.PerQueryGain[q.Normalized] += s.gain
 		}
 	}
+	gainSpan.End()
 
 	// Maintenance: per DML query, attribute per-candidate index update cost
 	// relative to the statement's base cost (Eq. 8).
@@ -153,6 +156,7 @@ func (a *Advisor) rankCandidates(cands []*Candidate, queries []*workload.QuerySt
 		cand int
 		m    float64
 	}
+	maintSpan := span.Child("maintenance")
 	maintRes := make([][]upkeep, len(queries))
 	pool.ForEach(workers, len(queries), func(qi int) {
 		q := queries[qi]
@@ -188,6 +192,7 @@ func (a *Advisor) rankCandidates(cands []*Candidate, queries []*workload.QuerySt
 			cands[m.cand].Maintenance += m.m
 		}
 	}
+	maintSpan.End()
 
 	// Sharding economics (§VIII(b)): every shard pays maintenance and
 	// storage for every index, while the aggregated gains already include

@@ -18,6 +18,8 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+
+	"aim/internal/obs"
 )
 
 const (
@@ -63,6 +65,34 @@ type Cache struct {
 	evictions int64
 	perShard  int
 	shards    [shardCount]shard
+
+	// Live observability handles (nil when no registry is attached). The
+	// counters mirror the per-run Stats deltas continuously, and mEntries
+	// tracks the resident entry count as a gauge — operators watching the
+	// registry see cache behaviour between advisor runs, not just
+	// recommendations' per-run deltas. Several caches (production DB plus
+	// shadow clones) attached to one registry share the same handles, so
+	// the registry reports fleet-wide totals.
+	mHits      *obs.Counter
+	mMisses    *obs.Counter
+	mEvictions *obs.Counter
+	mEntries   *obs.Gauge
+}
+
+// SetObs attaches (or with a nil registry, detaches) live cache metrics:
+// costcache.{hits,misses,evictions} counters and the costcache.entries
+// gauge. Call before concurrent use; existing residency is folded into the
+// entries gauge at attach time.
+func (c *Cache) SetObs(r *obs.Registry) {
+	if r == nil {
+		c.mHits, c.mMisses, c.mEvictions, c.mEntries = nil, nil, nil, nil
+		return
+	}
+	c.mHits = r.Counter("costcache.hits")
+	c.mMisses = r.Counter("costcache.misses")
+	c.mEvictions = r.Counter("costcache.evictions")
+	c.mEntries = r.Gauge("costcache.entries")
+	c.mEntries.Add(c.Stats().Entries)
 }
 
 type shard struct {
@@ -114,9 +144,11 @@ func (c *Cache) Get(key string) (any, bool) {
 	s.mu.Unlock()
 	if ok {
 		atomic.AddInt64(&c.hits, 1)
+		c.mHits.Inc()
 		return val, true
 	}
 	atomic.AddInt64(&c.misses, 1)
+	c.mMisses.Inc()
 	return nil, false
 }
 
@@ -140,21 +172,26 @@ func (c *Cache) Put(key string, val any) {
 		evicted++
 	}
 	s.mu.Unlock()
+	c.mEntries.Add(1 - evicted)
 	if evicted > 0 {
 		atomic.AddInt64(&c.evictions, evicted)
+		c.mEvictions.Add(evicted)
 	}
 }
 
 // Invalidate drops every entry (statistics or schema changed underneath the
 // estimates). Counters are preserved.
 func (c *Cache) Invalidate() {
+	var removed int64
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
+		removed += int64(s.lru.Len())
 		s.lru.Init()
 		s.byKey = map[string]*list.Element{}
 		s.mu.Unlock()
 	}
+	c.mEntries.Add(-removed)
 }
 
 // Stats snapshots the counters.

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"aim/internal/catalog"
+	"aim/internal/obs"
 	"aim/internal/optimizer"
 	"aim/internal/sqlparser"
 )
@@ -31,6 +32,10 @@ func NewCoster(opt *optimizer.Optimizer, capacity int) *Coster {
 
 // CacheStats snapshots the underlying cache counters.
 func (cs *Coster) CacheStats() Stats { return cs.cache.Stats() }
+
+// SetObs attaches live cache metrics to the registry (nil detaches). See
+// Cache.SetObs.
+func (cs *Coster) SetObs(r *obs.Registry) { cs.cache.SetObs(r) }
 
 // Invalidate drops all memoized estimates; the engine calls it whenever
 // statistics or the materialized schema change.

@@ -11,6 +11,7 @@ import (
 	"aim/internal/catalog"
 	"aim/internal/costcache"
 	"aim/internal/exec"
+	"aim/internal/obs"
 	"aim/internal/optimizer"
 	"aim/internal/sqlparser"
 	"aim/internal/sqltypes"
@@ -36,7 +37,27 @@ type DB struct {
 	statsCache map[string]*stats.TableStats
 	// autoAnalyzeEvery re-collects a table's stats after this many writes.
 	writesSince map[string]int
+	// obs is the attached metrics registry (nil = observability off). The DB
+	// is the wiring hub: SetObs fans the registry out to the optimizer, the
+	// what-if cache and the executor, and Clone propagates it so shadow
+	// clones aggregate into the same registry as production.
+	obs *obs.Registry
 }
+
+// SetObs attaches a metrics registry to this database and its components
+// (optimizer what-if latency, cost-cache gauges, executor operator
+// counters). Pass nil to detach. Call before concurrent use.
+func (db *DB) SetObs(r *obs.Registry) {
+	db.obs = r
+	db.Optimizer.SetObs(r)
+	db.WhatIf.SetObs(r)
+	db.executor.SetObs(r)
+}
+
+// ObsRegistry returns the attached registry, or nil when observability is
+// off. Components that only hold a *DB (the advisor, the shadow validator)
+// reach the registry through this.
+func (db *DB) ObsRegistry() *obs.Registry { return db.obs }
 
 // New creates an empty database.
 func New(name string) *DB {
@@ -384,6 +405,9 @@ func (db *DB) Clone(name string) *DB {
 	out.Optimizer = optimizer.New(out.Schema, out)
 	out.WhatIf = costcache.NewCoster(out.Optimizer, costcache.DefaultCapacity)
 	out.executor = exec.New(out.Store)
+	if db.obs != nil {
+		out.SetObs(db.obs)
+	}
 	return out
 }
 

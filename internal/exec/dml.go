@@ -25,6 +25,7 @@ func (e *Executor) Insert(tableName string, rows []sqltypes.Row) (Stats, error) 
 	st.IndexWrites = m.IndexWrites
 	st.PageReads = m.PageReads
 	st.RowsSent = int64(len(rows))
+	e.record(st)
 	return st, nil
 }
 
@@ -97,6 +98,7 @@ func (e *Executor) Update(p *Plan, assigns []Assignment) (Stats, error) {
 	st.RowsWritten += m.RowWrites
 	st.IndexWrites += m.IndexWrites
 	st.RowsSent = int64(len(pks))
+	e.record(st)
 	return st, nil
 }
 
@@ -117,5 +119,6 @@ func (e *Executor) Delete(p *Plan) (Stats, error) {
 	st.RowsWritten += m.RowWrites
 	st.IndexWrites += m.IndexWrites
 	st.RowsSent = int64(len(pks))
+	e.record(st)
 	return st, nil
 }

@@ -15,6 +15,7 @@ var errStop = errors.New("exec: early stop")
 // Executor runs physical plans against a store.
 type Executor struct {
 	Store *storage.Store
+	m     *execMetrics // nil when observability is off
 }
 
 // New returns an executor over the store.
@@ -87,6 +88,7 @@ func (e *Executor) Run(p *Plan, columns []string) (*Result, error) {
 	}
 	res.Rows = outRows
 	res.Stats.RowsSent = int64(len(outRows))
+	e.record(res.Stats)
 	return res, nil
 }
 
@@ -186,10 +188,15 @@ func scanBounds(prefix []sqltypes.Value, rng *RangeSpec, env []sqltypes.Value) (
 func (e *Executor) scanClustered(p *Plan, depth int, step *Step, tbl *storage.Table, env []sqltypes.Value, lo, hi []byte, hiInc bool, st *Stats, onRow func() error) error {
 	base := p.Layout.Instances[step.Instance].Base
 	ncols := len(p.Layout.Instances[step.Instance].Table.Columns)
+	if e.m != nil {
+		e.m.clusteredScans.Inc()
+	}
+	var scanned int64
 	st.PageReads += int64(tbl.Data().Height())
 	it := tbl.Data().SeekRange(lo, hi, hiInc)
 	for ; it.Valid(); it.Next() {
 		st.RowsRead++
+		scanned++
 		row := it.Value().(sqltypes.Row)
 		copy(env[base:base+ncols], row)
 		ok, err := passes(step.Filter, env)
@@ -204,6 +211,9 @@ func (e *Executor) scanClustered(p *Plan, depth int, step *Step, tbl *storage.Ta
 		}
 	}
 	st.PageReads += int64(it.LeavesWalked())
+	if e.m != nil {
+		e.m.clusteredRows.Add(scanned)
+	}
 	clearSegment(env, base, ncols)
 	return nil
 }
@@ -218,10 +228,19 @@ func (e *Executor) scanIndex(p *Plan, depth int, step *Step, tbl *storage.Table,
 	ncols := len(inst.Table.Columns)
 	keyCols := len(ix.Ordinals()) + len(tbl.Def.PrimaryKey)
 
+	if e.m != nil {
+		if step.Covering {
+			e.m.indexOnlyScans.Inc()
+		} else {
+			e.m.indexScans.Inc()
+		}
+	}
+	var scanned int64
 	st.PageReads += int64(ix.Tree().Height())
 	it := ix.Tree().SeekRange(lo, hi, hiInc)
 	for ; it.Valid(); it.Next() {
 		st.RowsRead++ // index entry examined
+		scanned++
 		needDecode := step.Covering || step.ICP != nil
 		if needDecode {
 			vals, _, err := sqltypes.DecodeKey(it.Key(), keyCols)
@@ -267,6 +286,9 @@ func (e *Executor) scanIndex(p *Plan, depth int, step *Step, tbl *storage.Table,
 		}
 	}
 	st.PageReads += int64(it.LeavesWalked())
+	if e.m != nil {
+		e.m.indexRows.Add(scanned)
+	}
 	clearSegment(env, base, ncols)
 	return nil
 }

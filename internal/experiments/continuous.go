@@ -6,6 +6,7 @@ import (
 
 	"aim/internal/core"
 	"aim/internal/engine"
+	"aim/internal/obs"
 	"aim/internal/regression"
 	"aim/internal/shadow"
 	"aim/internal/workload"
@@ -38,6 +39,9 @@ type ContinuousOptions struct {
 	Rows             int
 	WindowStatements int
 	Seed             int64
+	// Obs, when non-nil, instruments the database (shadow-gate verdicts,
+	// regression-window counters, advisor spans all land in this registry).
+	Obs *obs.Registry
 }
 
 // DefaultContinuousOptions keeps the study small.
@@ -48,6 +52,9 @@ func DefaultContinuousOptions() ContinuousOptions {
 // RunContinuous executes the workload-shift scenario.
 func RunContinuous(opts ContinuousOptions) (*ContinuousResult, error) {
 	db := engine.New("continuous")
+	if opts.Obs != nil {
+		db.SetObs(opts.Obs)
+	}
 	db.MustExec(`CREATE TABLE events (id INT, user_id INT, kind INT, day INT, score INT, payload VARCHAR(8), PRIMARY KEY (id))`)
 	r := rand.New(rand.NewSource(opts.Seed))
 	for i := 0; i < opts.Rows; i++ {

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"aim/internal/core"
+	"aim/internal/obs"
 	"aim/internal/sim"
 	"aim/internal/workloads/products"
 )
@@ -30,6 +31,8 @@ type Fig3Options struct {
 	BuildEvery     int     // ticks between incremental index builds
 	Seed           int64
 	J              int
+	// Obs, when non-nil, instruments both machines' databases.
+	Obs *obs.Registry
 }
 
 // DefaultFig3Options keeps runs laptop-sized.
@@ -64,6 +67,10 @@ func RunFig3(spec products.Spec, opts Fig3Options) (*Fig3Result, error) {
 	}
 	if err := test.ApplyDBAIndexes(); err != nil {
 		return nil, err
+	}
+	if opts.Obs != nil {
+		control.DB.SetObs(opts.Obs)
+		test.DB.SetObs(opts.Obs)
 	}
 
 	mkSampler := func(p *products.Product, seed int64) sim.Sampler {

@@ -13,6 +13,7 @@ import (
 
 	"aim/internal/baselines"
 	"aim/internal/engine"
+	"aim/internal/obs"
 	"aim/internal/workload"
 	"aim/internal/workloads/job"
 	"aim/internal/workloads/tpch"
@@ -43,6 +44,9 @@ type Fig4Options struct {
 	BudgetFractions []float64
 	MaxWidth        int // like the paper: 4 for TPC-H, 3 for JOB
 	Algorithms      []baselines.Advisor
+	// Obs, when non-nil, instruments the benchmark database (what-if
+	// latency, cost-cache and executor metrics, advisor spans).
+	Obs *obs.Registry
 }
 
 // DefaultFig4Options mirrors §VI-B: AIM vs DTA vs Extend.
@@ -67,7 +71,9 @@ func DefaultFig4Options(benchmark string) Fig4Options {
 
 // buildBenchmark constructs the analytical database + workload monitor with
 // every query recorded once (purely analytical comparison, like §VI-B).
-func buildBenchmark(name string, scale float64, seed int64) (*engine.DB, []*workload.QueryStats, error) {
+// reg (may be nil) is attached before the workload replay so executor
+// metrics cover it.
+func buildBenchmark(name string, scale float64, seed int64, reg *obs.Registry) (*engine.DB, []*workload.QueryStats, error) {
 	var db *engine.DB
 	var queries []string
 	var err error
@@ -83,6 +89,9 @@ func buildBenchmark(name string, scale float64, seed int64) (*engine.DB, []*work
 	}
 	if err != nil {
 		return nil, nil, err
+	}
+	if reg != nil {
+		db.SetObs(reg)
 	}
 	mon := workload.NewMonitor()
 	for _, q := range queries {
@@ -100,7 +109,7 @@ func buildBenchmark(name string, scale float64, seed int64) (*engine.DB, []*work
 // RunFig4 sweeps storage budgets for every algorithm on one benchmark,
 // producing the data behind Figures 4a-4d.
 func RunFig4(opts Fig4Options) (*Fig4Result, error) {
-	db, queries, err := buildBenchmark(opts.Benchmark, opts.Scale, opts.Seed)
+	db, queries, err := buildBenchmark(opts.Benchmark, opts.Scale, opts.Seed, opts.Obs)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"aim/internal/baselines"
+	"aim/internal/obs"
 )
 
 // Fig5Row is one query's estimated processing cost under each algorithm's
@@ -23,6 +24,8 @@ type Fig5Options struct {
 	BudgetFraction float64 // of the unconstrained AIM size (≈15 GB in paper)
 	MaxWidth       int
 	Algorithms     []baselines.Advisor
+	// Obs, when non-nil, instruments the benchmark database.
+	Obs *obs.Registry
 }
 
 // DefaultFig5Options mirrors the paper's TPC-H SF10 / 15 GB setting.
@@ -43,7 +46,7 @@ func DefaultFig5Options() Fig5Options {
 // RunFig5 computes per-query costs on TPC-H for each algorithm's selected
 // configuration at the common budget.
 func RunFig5(opts Fig5Options) ([]*Fig5Row, error) {
-	db, queries, err := buildBenchmark("tpch", opts.Scale, opts.Seed)
+	db, queries, err := buildBenchmark("tpch", opts.Scale, opts.Seed, opts.Obs)
 	if err != nil {
 		return nil, err
 	}

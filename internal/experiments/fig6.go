@@ -7,6 +7,7 @@ import (
 	"aim/internal/baselines"
 	"aim/internal/core"
 	"aim/internal/engine"
+	"aim/internal/obs"
 	"aim/internal/sim"
 	"aim/internal/workload"
 )
@@ -69,6 +70,8 @@ type Fig6Options struct {
 	Capacity       float64
 	PhaseTicks     int // ticks per phase (unindexed, j=1, j=2, j=3)
 	Seed           int64
+	// Obs, when non-nil, instruments both machines' databases.
+	Obs *obs.Registry
 }
 
 // DefaultFig6Options keeps the study laptop-sized.
@@ -153,6 +156,10 @@ func RunFig6(opts Fig6Options) (*Fig6Result, error) {
 	giaDB, giaSampler, err := buildJoinHeavyDB(opts.Rows, opts.Seed)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Obs != nil {
+		aimDB.SetObs(opts.Obs)
+		giaDB.SetObs(opts.Obs)
 	}
 	aimM := sim.NewMachine(aimDB, aimSampler, opts.QueriesPerTick, opts.Capacity, opts.Seed)
 	giaM := sim.NewMachine(giaDB, giaSampler, opts.QueriesPerTick, opts.Capacity, opts.Seed)

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"aim/internal/core"
+	"aim/internal/obs"
 	"aim/internal/workload"
 	"aim/internal/workloads/products"
 )
@@ -31,6 +32,8 @@ type Table2Options struct {
 	Seed               int64
 	// J is AIM's join parameter.
 	J int
+	// Obs, when non-nil, instruments each product database.
+	Obs *obs.Registry
 }
 
 // DefaultTable2Options runs every product with a moderate window.
@@ -45,6 +48,9 @@ func RunTable2Product(spec products.Spec, opts Table2Options) (*Table2Row, error
 	p, err := products.Build(spec)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Obs != nil {
+		p.DB.SetObs(opts.Obs)
 	}
 	// Observe the workload with no secondary indexes (the "from scratch"
 	// protocol of §VI-A). The window scales with the number of query

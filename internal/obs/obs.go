@@ -1,0 +1,381 @@
+// Package obs is the advisor pipeline's observability layer: a
+// dependency-free metrics registry (atomic counters, gauges, bounded
+// histograms with approximate percentiles) plus a lightweight span API for
+// phase timings (span.go). The paper pitches AIM as *auditable* automation —
+// §VII's no-regression machinery only earns trust when operators can see
+// what the advisor did and why; this package is the substrate the
+// explanations and fleet-stats pipeline export through.
+//
+// Design rules:
+//
+//   - Nil is off. Every method is safe on a nil *Registry, nil *Counter,
+//     nil *Gauge, nil *Histogram and nil *Span, and the disabled path does
+//     zero allocation — instrumented components resolve metric handles once
+//     at attach time (SetObs) and pay a single nil check per event when
+//     observability is off.
+//   - Metrics never influence behaviour. Instrumentation records what
+//     happened; the golden determinism tests assert recommendations are
+//     byte-identical with the registry attached and detached.
+//   - Naming convention: "<package>.<metric>" in snake case
+//     (optimizer.whatif_seconds, costcache.entries, pool.queue_depth);
+//     span names are slash-separated phase paths (advisor/rank/gains).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value that can move both ways (queue depths,
+// live cache entries, active workers).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value. No-op on a nil gauge.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the gauge by delta (negative deltas allowed). No-op on nil.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current gauge reading (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram buckets and percentile coverage. Buckets are base-2
+// exponential: bucket i covers [2^(i-histBias-1), 2^(i-histBias)), spanning
+// ~1e-12 (sub-nanosecond timings in seconds) to ~3.6e16 (large counts) —
+// every observation in the pipeline lands inside the range.
+const (
+	histBuckets = 96
+	histBias    = 40
+)
+
+// Histogram is a bounded, lock-free histogram over float64 observations.
+// Memory is fixed (histBuckets atomic slots); percentiles are approximate
+// (bucket-resolution, ~±41% worst case at base-2 buckets) which is plenty
+// for latency-distribution shape and p50/p95/p99 reporting.
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketFor maps an observation to its bucket ordinal.
+func bucketFor(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	_, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	i := exp + histBias
+	if i < 0 {
+		return 0
+	}
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketRep is the representative value reported for a bucket: the
+// geometric midpoint of its bounds.
+func bucketRep(i int) float64 {
+	if i == 0 {
+		return 0
+	}
+	return math.Exp2(float64(i-histBias)) * math.Sqrt2 / 2
+}
+
+// Observe records one value. No-op on a nil histogram; never allocates.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketFor(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		s := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Mean returns Sum/Count (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile returns the approximate q-quantile (q in [0, 1]); 0 on nil or
+// with no observations. The answer is the representative value of the
+// bucket containing the rank-q observation.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return bucketRep(i)
+		}
+	}
+	return bucketRep(histBuckets - 1)
+}
+
+// Registry holds named metrics and the span/trace machinery. A nil
+// *Registry is the disabled state: every accessor returns nil handles and
+// every operation is a no-op.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() int64
+	hists      map[string]*Histogram
+	spans      map[string]*Histogram
+
+	spanSeq atomic.Uint64
+	traceMu sync.Mutex
+	trace   io.Writer
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		gaugeFuncs: map[string]func() int64{},
+		hists:      map[string]*Histogram{},
+		spans:      map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (a valid no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on a
+// nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a callback evaluated at snapshot time — for values
+// that are cheaper to read on demand than to maintain (live LRU entry
+// counts, pool sizes). Re-registering a name replaces the callback. No-op
+// on a nil registry.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gaugeFuncs[name] = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the named histogram, creating it on first use. Returns
+// nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// spanHist returns the duration histogram for a span name.
+func (r *Registry) spanHist(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.spans[name]
+	if !ok {
+		h = &Histogram{}
+		r.spans[name] = h
+	}
+	return h
+}
+
+// snapshotKeys returns the sorted key set of a map under the registry lock.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteTo renders an expvar-style text snapshot of every metric, sorted by
+// kind then name — the -metrics output of aimctl/aimbench. Histograms and
+// spans report count, sum and approximate p50/p95/p99. Implements
+// io.WriterTo; a nil registry writes nothing.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g.Value()
+	}
+	funcs := make(map[string]func() int64, len(r.gaugeFuncs))
+	for k, fn := range r.gaugeFuncs {
+		funcs[k] = fn
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = h
+	}
+	spans := make(map[string]*Histogram, len(r.spans))
+	for k, h := range r.spans {
+		spans[k] = h
+	}
+	r.mu.Unlock()
+
+	// GaugeFunc callbacks run outside the lock: they may read other
+	// components (cache shard locks) and must not deadlock with them.
+	for k, fn := range funcs {
+		gauges[k] = fn()
+	}
+
+	var n int64
+	emit := func(format string, args ...any) error {
+		m, err := fmt.Fprintf(w, format, args...)
+		n += int64(m)
+		return err
+	}
+	for _, k := range sortedKeys(counters) {
+		if err := emit("counter %-40s %d\n", k, counters[k]); err != nil {
+			return n, err
+		}
+	}
+	for _, k := range sortedKeys(gauges) {
+		if err := emit("gauge   %-40s %d\n", k, gauges[k]); err != nil {
+			return n, err
+		}
+	}
+	histLine := func(kind, k string, h *Histogram) error {
+		return emit("%s %-40s count=%d sum=%.6g p50=%.3g p95=%.3g p99=%.3g\n",
+			kind, k, h.Count(), h.Sum(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+	}
+	for _, k := range sortedKeys(hists) {
+		if err := histLine("hist   ", k, hists[k]); err != nil {
+			return n, err
+		}
+	}
+	for _, k := range sortedKeys(spans) {
+		if err := histLine("span   ", k, spans[k]); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

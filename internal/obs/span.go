@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of the pipeline. Spans nest: Child spans extend
+// the parent's slash-separated name (advisor → advisor/rank →
+// advisor/rank/gains), so the registry's span histograms form the phase
+// hierarchy directly and the JSON trace can be folded into a flame graph.
+//
+// A nil *Span (from a nil registry) is the disabled state: Child returns
+// nil and End is a no-op, so instrumented code never branches on "is
+// tracing on" — it just calls through.
+type Span struct {
+	reg    *Registry
+	name   string
+	id     uint64
+	parent uint64
+	start  time.Time
+}
+
+// StartSpan opens a root span. Returns nil on a nil registry.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, name: name, id: r.spanSeq.Add(1), start: time.Now()}
+}
+
+// Child opens a nested span under s. Returns nil on a nil span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		reg:    s.reg,
+		name:   s.name + "/" + name,
+		id:     s.reg.spanSeq.Add(1),
+		parent: s.id,
+		start:  time.Now(),
+	}
+}
+
+// End closes the span: its duration lands in the registry's span histogram
+// for the name, and — when a trace writer is attached — one JSON line is
+// emitted for offline flame-graph analysis. No-op on a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.reg.spanHist(s.name).Observe(d.Seconds())
+	s.reg.emitTrace(s, d)
+}
+
+// SetTraceWriter attaches a JSON-lines trace sink (the -trace-out file).
+// Pass nil to detach. Span names are code-controlled identifiers
+// ([a-z0-9_./-]), so lines are built with Fprintf rather than a JSON
+// encoder; unexpected characters are escaped defensively. No-op on a nil
+// registry.
+func (r *Registry) SetTraceWriter(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.traceMu.Lock()
+	r.trace = w
+	r.traceMu.Unlock()
+}
+
+// emitTrace writes one span record: name, ids, start (unix microseconds)
+// and duration (microseconds).
+func (r *Registry) emitTrace(s *Span, d time.Duration) {
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	if r.trace == nil {
+		return
+	}
+	fmt.Fprintf(r.trace, `{"name":%q,"id":%d,"parent":%d,"start_us":%d,"dur_us":%.1f}`+"\n",
+		s.name, s.id, s.parent, s.start.UnixMicro(), float64(d.Nanoseconds())/1e3)
+}
+
+// TraceBuffer is a minimal in-memory trace sink for tests and for callers
+// that want to post-process spans without a file.
+type TraceBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+// Write implements io.Writer.
+func (t *TraceBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.b.Write(p)
+}
+
+// String returns the buffered JSON lines.
+func (t *TraceBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.b.String()
+}

@@ -25,6 +25,7 @@ const dpLimit = 8
 // calls). When straight is true the FROM order is kept as written.
 func (o *Optimizer) searchJoinOrder(info *queryinfo.Info, ctxs []*instanceContext, indexes *indexForTable, straight bool) *joinResult {
 	n := len(ctxs)
+	o.mJoinTables.Observe(float64(n))
 	if straight || n == 1 {
 		order := make([]int, n)
 		for i := range order {
@@ -33,8 +34,10 @@ func (o *Optimizer) searchJoinOrder(info *queryinfo.Info, ctxs []*instanceContex
 		return o.costOrder(info, ctxs, indexes, order)
 	}
 	if n <= dpLimit {
+		o.mJoinDP.Inc()
 		return o.searchDP(info, ctxs, indexes)
 	}
+	o.mJoinGreedy.Inc()
 	return o.searchGreedy(info, ctxs, indexes)
 }
 

@@ -5,8 +5,10 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"aim/internal/catalog"
+	"aim/internal/obs"
 	"aim/internal/queryinfo"
 	"aim/internal/sqlparser"
 )
@@ -16,6 +18,28 @@ type Optimizer struct {
 	Schema *catalog.Schema
 	Stats  StatsProvider
 	calls  int64
+
+	// Observability handles (nil = disabled; see SetObs). Metrics record
+	// planning behaviour only — they never influence plan choice.
+	mWhatIf     *obs.Histogram // per-invocation planning latency (seconds)
+	mJoinTables *obs.Histogram // join-order search width (tables per search)
+	mJoinDP     *obs.Counter   // Selinger DP searches
+	mJoinGreedy *obs.Counter   // greedy fallback searches (> dpLimit tables)
+}
+
+// SetObs attaches (nil registry: detaches) optimizer metrics:
+// optimizer.whatif_seconds latency histogram, optimizer.join_tables search
+// width histogram, and optimizer.join_{dp,greedy}_searches counters. Call
+// before concurrent planning starts.
+func (o *Optimizer) SetObs(r *obs.Registry) {
+	if r == nil {
+		o.mWhatIf, o.mJoinTables, o.mJoinDP, o.mJoinGreedy = nil, nil, nil, nil
+		return
+	}
+	o.mWhatIf = r.Histogram("optimizer.whatif_seconds")
+	o.mJoinTables = r.Histogram("optimizer.join_tables")
+	o.mJoinDP = r.Counter("optimizer.join_dp_searches")
+	o.mJoinGreedy = r.Counter("optimizer.join_greedy_searches")
 }
 
 // New returns an optimizer over the schema and statistics provider.
@@ -116,6 +140,9 @@ func (o *Optimizer) planSelect(sel *sqlparser.Select, extra []*catalog.Index) (*
 
 func (o *Optimizer) planSelectMode(sel *sqlparser.Select, extra []*catalog.Index, replace bool) (*planned, error) {
 	o.countCall()
+	if o.mWhatIf != nil {
+		defer func(t0 time.Time) { o.mWhatIf.Observe(time.Since(t0).Seconds()) }(time.Now())
+	}
 	info, err := queryinfo.Analyze(sel, o.Schema)
 	if err != nil {
 		return nil, err

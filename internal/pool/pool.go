@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"aim/internal/obs"
 )
 
 // Workers resolves a requested pool size: values <= 0 mean GOMAXPROCS.
@@ -18,6 +20,38 @@ func Workers(requested int) int {
 		return requested
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// metricsSet bundles the pool's observability handles so they swap
+// atomically as a unit.
+type metricsSet struct {
+	runs   *obs.Counter   // ForEach fan-outs started
+	tasks  *obs.Counter   // work items executed
+	active *obs.Gauge     // workers currently inside fn
+	queue  *obs.Gauge     // items not yet claimed by a worker
+	fanout *obs.Histogram // items per ForEach call
+}
+
+// instr holds the active metrics set; nil means instrumentation is off.
+// ForEach is package-level (no pool object to hang state on), so the handles
+// live here behind one atomic pointer load per fan-out.
+var instr atomic.Pointer[metricsSet]
+
+// Instrument attaches pool metrics to the registry (nil detaches):
+// pool.{runs,tasks} counters, pool.{active_workers,queue_depth} gauges, and
+// the pool.fanout items-per-run histogram.
+func Instrument(r *obs.Registry) {
+	if r == nil {
+		instr.Store(nil)
+		return
+	}
+	instr.Store(&metricsSet{
+		runs:   r.Counter("pool.runs"),
+		tasks:  r.Counter("pool.tasks"),
+		active: r.Gauge("pool.active_workers"),
+		queue:  r.Gauge("pool.queue_depth"),
+		fanout: r.Histogram("pool.fanout"),
+	})
 }
 
 // ForEach invokes fn(i) for every i in [0, n), fanning out over at most
@@ -36,9 +70,25 @@ func ForEach(workers, n int, fn func(int)) {
 	if workers > n {
 		workers = n
 	}
+	// Every item is claimed exactly once, so the per-claim queue decrements
+	// return the gauge to its prior value by the time ForEach returns.
+	m := instr.Load()
+	if m != nil {
+		m.runs.Inc()
+		m.tasks.Add(int64(n))
+		m.fanout.Observe(float64(n))
+		m.queue.Add(int64(n))
+	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if m != nil {
+				m.queue.Add(-1)
+				m.active.Add(1)
+			}
 			fn(i)
+			if m != nil {
+				m.active.Add(-1)
+			}
 		}
 		return
 	}
@@ -53,7 +103,14 @@ func ForEach(workers, n int, fn func(int)) {
 				if i >= n {
 					return
 				}
+				if m != nil {
+					m.queue.Add(-1)
+					m.active.Add(1)
+				}
 				fn(i)
+				if m != nil {
+					m.active.Add(-1)
+				}
 			}
 		}()
 	}

@@ -14,6 +14,18 @@ import (
 	"aim/internal/workload"
 )
 
+// DefaultMaxBaselineAge is how many consecutive quiet windows a query's
+// baseline survives before it is dropped.
+const DefaultMaxBaselineAge = 4
+
+// baseline is one query's remembered cpu_avg with its staleness: age 0 means
+// the query qualified in the most recent window, age k that it has been
+// carried forward through k quiet windows.
+type baseline struct {
+	cpu float64
+	age int
+}
+
 // Detector compares consecutive observation windows.
 type Detector struct {
 	// Threshold is the relative cpu_avg increase that counts as a
@@ -21,13 +33,32 @@ type Detector struct {
 	Threshold float64
 	// MinExecutions filters noise from rarely executed queries.
 	MinExecutions int64
+	// MaxBaselineAge bounds how many consecutive windows a baseline is
+	// carried forward while its query is absent (or below MinExecutions).
+	// Without carry-forward, a query that goes quiet for one window loses
+	// its baseline and a subsequent regression is invisible; without the
+	// bound, ancient baselines would flag long-changed queries forever.
+	// 0 selects DefaultMaxBaselineAge.
+	MaxBaselineAge int
 
-	prev map[string]float64 // normalized query -> cpu_avg of last window
+	prev map[string]baseline // normalized query -> last known cpu_avg
 }
 
 // NewDetector returns a detector with the given regression threshold.
 func NewDetector(threshold float64) *Detector {
-	return &Detector{Threshold: threshold, MinExecutions: 3, prev: map[string]float64{}}
+	return &Detector{
+		Threshold:      threshold,
+		MinExecutions:  3,
+		MaxBaselineAge: DefaultMaxBaselineAge,
+		prev:           map[string]baseline{},
+	}
+}
+
+func (d *Detector) maxAge() int {
+	if d.MaxBaselineAge > 0 {
+		return d.MaxBaselineAge
+	}
+	return DefaultMaxBaselineAge
 }
 
 // Regression describes one detected per-query regression.
@@ -35,6 +66,9 @@ type Regression struct {
 	Normalized string
 	BeforeCPU  float64 // cpu_avg previous window
 	AfterCPU   float64 // cpu_avg current window
+	// BaselineAge is how many windows ago the baseline was last refreshed
+	// (0 = the immediately preceding window).
+	BaselineAge int
 	// SuspectIndexes are automation-created indexes used by the query's
 	// current plan — the candidates to revert.
 	SuspectIndexes []*catalog.Index
@@ -56,41 +90,69 @@ func (r *Regression) String() string {
 // Observe ingests a finished window and returns regressions relative to the
 // previous window. db is used to attribute suspects (automation-created
 // indexes in the query's current plan).
+//
+// Baselines of queries that do not qualify in the current window (absent, or
+// below MinExecutions) are carried forward unchanged for up to
+// MaxBaselineAge windows, so an active→quiet→regressed query is still
+// compared against its last healthy baseline.
 func (d *Detector) Observe(db *engine.DB, mon *workload.Monitor) []*Regression {
+	reg := db.ObsRegistry()
+	reg.Counter("regression.windows").Inc()
 	var found []*Regression
-	cur := map[string]float64{}
+	cur := map[string]baseline{}
 	for _, q := range mon.Queries() {
 		if q.Executions < d.MinExecutions {
 			continue
 		}
 		cpu := q.CPUAvg()
-		cur[q.Normalized] = cpu
+		cur[q.Normalized] = baseline{cpu: cpu}
 		prev, seen := d.prev[q.Normalized]
-		if !seen || prev <= 0 {
+		if !seen || prev.cpu <= 0 {
 			continue
 		}
-		if (cpu-prev)/prev <= d.Threshold {
+		if (cpu-prev.cpu)/prev.cpu <= d.Threshold {
 			continue
 		}
-		reg := &Regression{Normalized: q.Normalized, BeforeCPU: prev, AfterCPU: cpu}
+		r := &Regression{
+			Normalized:  q.Normalized,
+			BeforeCPU:   prev.cpu,
+			AfterCPU:    cpu,
+			BaselineAge: prev.age,
+		}
 		if sel, ok := q.Stmt.(*sqlparser.Select); ok {
 			if est, err := db.Optimizer.EstimateSelect(sel, nil); err == nil {
 				for _, u := range est.Used {
 					if u.Index != nil && u.Index.CreatedBy != "" && u.Index.CreatedBy != "dba" {
-						reg.SuspectIndexes = append(reg.SuspectIndexes, u.Index)
+						r.SuspectIndexes = append(r.SuspectIndexes, u.Index)
 					}
 				}
 			}
 		}
-		found = append(found, reg)
+		found = append(found, r)
+	}
+	// Carry forward baselines for queries that went quiet this window,
+	// aging them out past MaxBaselineAge.
+	for k, b := range d.prev {
+		if _, active := cur[k]; active {
+			continue
+		}
+		if b.age+1 > d.maxAge() {
+			continue
+		}
+		cur[k] = baseline{cpu: b.cpu, age: b.age + 1}
+		reg.Counter("regression.baselines_carried").Inc()
 	}
 	d.prev = cur
+	reg.Gauge("regression.baselines").Set(int64(len(cur)))
+	reg.Counter("regression.flagged").Add(int64(len(found)))
 	sort.Slice(found, func(i, j int) bool { return found[i].Change() > found[j].Change() })
 	return found
 }
 
 // Revert drops the suspect automation-created indexes of the given
-// regressions. It returns the dropped index names.
+// regressions. It returns the dropped index names. Suspects already dropped
+// (by an earlier call or a duplicate regression) are skipped, so Revert is
+// idempotent.
 func Revert(db *engine.DB, regs []*Regression) []string {
 	var dropped []string
 	seen := map[string]bool{}
@@ -106,6 +168,7 @@ func Revert(db *engine.DB, regs []*Regression) []string {
 		}
 	}
 	if len(dropped) > 0 {
+		db.ObsRegistry().Counter("regression.reverted_indexes").Add(int64(len(dropped)))
 		db.Analyze()
 	}
 	return dropped

@@ -115,3 +115,81 @@ func TestDetectorDoesNotSuspectDBAIndexes(t *testing.T) {
 		t.Fatal("DBA index reverted")
 	}
 }
+
+func TestDetectorCarriesBaselineAcrossQuietWindows(t *testing.T) {
+	db := fixture(t)
+	d := NewDetector(0.3)
+	// Window 1: active at low CPU establishes the baseline.
+	d.Observe(db, window(t, 0.001, 10))
+	// Window 2: the query goes quiet (below MinExecutions). The baseline
+	// must be carried forward, not discarded.
+	d.Observe(db, window(t, 0.001, 1))
+	// Window 3: active again at 3x the CPU — must flag against window 1.
+	regs := d.Observe(db, window(t, 0.003, 10))
+	if len(regs) != 1 {
+		t.Fatalf("active→quiet→regressed flagged %d regressions, want 1", len(regs))
+	}
+	if regs[0].BaselineAge != 1 {
+		t.Errorf("baseline age = %d, want 1", regs[0].BaselineAge)
+	}
+	if regs[0].Change() < 1.5 {
+		t.Errorf("change = %v", regs[0].Change())
+	}
+}
+
+func TestDetectorCarriesBaselineAcrossEmptyWindows(t *testing.T) {
+	db := fixture(t)
+	d := NewDetector(0.3)
+	d.Observe(db, window(t, 0.001, 10))
+	// Two entirely empty windows: the query is absent, not just rare.
+	d.Observe(db, workload.NewMonitor())
+	d.Observe(db, workload.NewMonitor())
+	regs := d.Observe(db, window(t, 0.003, 10))
+	if len(regs) != 1 {
+		t.Fatalf("regression after empty windows flagged %d, want 1", len(regs))
+	}
+	if regs[0].BaselineAge != 2 {
+		t.Errorf("baseline age = %d, want 2", regs[0].BaselineAge)
+	}
+}
+
+func TestDetectorDropsStaleBaselines(t *testing.T) {
+	db := fixture(t)
+	d := NewDetector(0.3)
+	d.MaxBaselineAge = 2
+	d.Observe(db, window(t, 0.001, 10))
+	// Three quiet windows age the baseline to 3 > MaxBaselineAge: dropped.
+	for i := 0; i < 3; i++ {
+		d.Observe(db, workload.NewMonitor())
+	}
+	if regs := d.Observe(db, window(t, 0.01, 10)); len(regs) != 0 {
+		t.Fatalf("stale baseline flagged: %v", regs)
+	}
+	// The fresh window re-established a baseline, so a subsequent jump is
+	// caught again.
+	if regs := d.Observe(db, window(t, 0.05, 10)); len(regs) != 1 {
+		t.Fatalf("baseline not re-established: %d regressions", len(regs))
+	}
+}
+
+func TestRevertIdempotent(t *testing.T) {
+	db := fixture(t)
+	if _, err := db.CreateIndex(&catalog.Index{Name: "aim_t_a", Table: "t", Columns: []string{"a"}, CreatedBy: "aim"}); err != nil {
+		t.Fatal(err)
+	}
+	db.Analyze()
+	ix := db.Schema.Index("aim_t_a")
+	// The same suspect appears in two regressions of one call.
+	regs := []*Regression{
+		{Normalized: "q1", SuspectIndexes: []*catalog.Index{ix}},
+		{Normalized: "q2", SuspectIndexes: []*catalog.Index{ix}},
+	}
+	dropped := Revert(db, regs)
+	if len(dropped) != 1 || dropped[0] != "aim_t_a" {
+		t.Fatalf("first revert dropped %v, want [aim_t_a]", dropped)
+	}
+	// A second call over the same regressions finds nothing left to drop.
+	if again := Revert(db, regs); len(again) != 0 {
+		t.Fatalf("second revert dropped %v, want none", again)
+	}
+}

@@ -7,6 +7,7 @@
 package shadow
 
 import (
+	"errors"
 	"fmt"
 
 	"aim/internal/catalog"
@@ -26,21 +27,26 @@ type Gate struct {
 	Lambda2 float64
 	// Lambda3 is the maximum tolerated per-query regression (Eq. 4).
 	Lambda3 float64
-	// MinReplays is how many parameter samples to replay per query.
-	MinReplays int
+	// MaxReplays caps how many parameter samples are replayed per query
+	// (0 = replay every sample). Fewer samples may be available; the actual
+	// count lands in QueryOutcome.Replays.
+	MaxReplays int
 }
 
 // DefaultGate uses mild thresholds suitable for the synthetic workloads.
 func DefaultGate() Gate {
-	return Gate{Lambda1: 0.1, Lambda2: 0.05, Lambda3: 0.25, MinReplays: 3}
+	return Gate{Lambda1: 0.1, Lambda2: 0.05, Lambda3: 0.25, MaxReplays: 3}
 }
 
 // QueryOutcome is the before/after comparison for one normalized query.
 type QueryOutcome struct {
 	Normalized string
 	Executions int64 // weight used for the overall aggregate
-	BeforeCPU  float64
-	AfterCPU   float64
+	// Replays is how many parameter samples were actually replayed on each
+	// clone (bounded by Gate.MaxReplays).
+	Replays   int
+	BeforeCPU float64
+	AfterCPU  float64
 }
 
 // Change returns the relative CPU delta (negative = improvement).
@@ -57,35 +63,74 @@ type Report struct {
 	Reason    string
 	Outcomes  []QueryOutcome
 	TotalGain float64 // weighted CPU seconds saved per window
+	// Divergent lists normalized queries whose DML replay succeeded on one
+	// clone but failed on the other. Their comparison was aborted and the
+	// clones rebuilt; the gate verdict excludes them.
+	Divergent []string
 	// AcceptedIndexes are the indexes that survive validation (currently
 	// all-or-nothing, like the paper's per-database gate).
 	AcceptedIndexes []*catalog.Index
 }
 
+// errDiverged signals a one-sided DML replay failure: one clone applied the
+// write and the other did not, so every subsequent replay would compare
+// different data. The caller must discard both clones.
+var errDiverged = errors.New("shadow: clones diverged on one-sided DML error")
+
 // Validate clones the database, materializes the candidate indexes on the
 // clone, replays the workload on both configurations, and applies the gate.
 func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor, gate Gate) (*Report, error) {
-	if len(candidates) == 0 {
-		return &Report{Accepted: false, Reason: "no candidate indexes"}, nil
-	}
-	baseline := db.Clone("shadow-baseline")
-	test := db.Clone("shadow-test")
-	for _, ix := range candidates {
-		def := *ix
-		def.Columns = append([]string(nil), ix.Columns...)
-		def.Hypothetical = false
-		if _, err := test.CreateIndex(&def); err != nil {
-			return nil, fmt.Errorf("shadow: materializing %s: %v", ix.Name, err)
+	reg := db.ObsRegistry()
+	reg.Counter("shadow.validations").Inc()
+	verdict := func(rep *Report) (*Report, error) {
+		if rep.Accepted {
+			reg.Counter("shadow.accepted").Inc()
+		} else {
+			reg.Counter("shadow.rejected").Inc()
 		}
+		return rep, nil
 	}
-	test.Analyze()
+	if len(candidates) == 0 {
+		return verdict(&Report{Accepted: false, Reason: "no candidate indexes"})
+	}
+
+	// makeClones builds a fresh baseline/test pair from production, with the
+	// candidates materialized on the test side. Rebuilding restores
+	// comparability after a divergence (the engine has no transactions to
+	// roll back a half-applied replay).
+	makeClones := func() (*engine.DB, *engine.DB, error) {
+		baseline := db.Clone("shadow-baseline")
+		test := db.Clone("shadow-test")
+		for _, ix := range candidates {
+			def := *ix
+			def.Columns = append([]string(nil), ix.Columns...)
+			def.Hypothetical = false
+			if _, err := test.CreateIndex(&def); err != nil {
+				return nil, nil, fmt.Errorf("shadow: materializing %s: %v", ix.Name, err)
+			}
+		}
+		test.Analyze()
+		return baseline, test, nil
+	}
+	baseline, test, err := makeClones()
+	if err != nil {
+		return nil, err
+	}
 
 	rep := &Report{}
 	improvedOne := false
 	var totalBefore, totalAfter float64
 	for _, q := range mon.Queries() {
-		before, after, err := replayQuery(baseline, test, q, gate.MinReplays)
+		before, after, replays, err := replayQuery(baseline, test, q, gate.MaxReplays)
+		reg.Counter("shadow.replays").Add(int64(replays))
 		if err != nil {
+			if errors.Is(err, errDiverged) {
+				rep.Divergent = append(rep.Divergent, q.Normalized)
+				reg.Counter("shadow.divergent").Inc()
+				if baseline, test, err = makeClones(); err != nil {
+					return nil, err
+				}
+			}
 			// Queries that cannot be replayed (e.g. dropped tables) are
 			// skipped rather than failing the whole validation.
 			continue
@@ -93,10 +138,12 @@ func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor,
 		out := QueryOutcome{
 			Normalized: q.Normalized,
 			Executions: q.Executions,
+			Replays:    replays,
 			BeforeCPU:  before,
 			AfterCPU:   after,
 		}
 		rep.Outcomes = append(rep.Outcomes, out)
+		reg.Counter("shadow.replayed_queries").Inc()
 		w := float64(q.Executions)
 		totalBefore += before * w
 		totalAfter += after * w
@@ -110,37 +157,39 @@ func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor,
 	for _, out := range rep.Outcomes {
 		if out.BeforeCPU > 0 && out.Change() > gate.Lambda3 {
 			rep.Reason = fmt.Sprintf("query regressed %.1f%% > λ₃: %s", out.Change()*100, out.Normalized)
-			return rep, nil
+			return verdict(rep)
 		}
 	}
 	// Eq. 3: at least one query improved by λ₂.
 	if !improvedOne {
 		rep.Reason = "no query improved by λ₂"
-		return rep, nil
+		return verdict(rep)
 	}
 	// Eq. 2 (approximated): the overall cost must not increase by more
 	// than λ₁ relative to the candidate configuration's promise.
 	if totalBefore > 0 && totalAfter > totalBefore*(1+gate.Lambda1) {
 		rep.Reason = "overall cost regressed beyond λ₁"
-		return rep, nil
+		return verdict(rep)
 	}
 	rep.Accepted = true
 	rep.Reason = "accepted"
 	rep.AcceptedIndexes = candidates
-	return rep, nil
+	return verdict(rep)
 }
 
 // replayQuery executes the query's sampled parameterizations on both clones
-// and returns average CPU seconds per execution for each.
-func replayQuery(baseline, test *engine.DB, q *workload.QueryStats, minReplays int) (before, after float64, err error) {
+// and returns average CPU seconds per execution for each, plus the number of
+// samples replayed. A one-sided DML failure returns errDiverged: the write
+// landed on one clone only, so the pair is no longer comparable and the
+// caller must rebuild both clones.
+func replayQuery(baseline, test *engine.DB, q *workload.QueryStats, maxReplays int) (before, after float64, replays int, err error) {
 	params := q.SampleParams
 	if len(params) == 0 {
 		params = [][]sqltypes.Value{nil}
 	}
-	if minReplays > 0 && len(params) > minReplays {
-		params = params[:minReplays]
+	if maxReplays > 0 && len(params) > maxReplays {
+		params = params[:maxReplays]
 	}
-	n := 0
 	for _, p := range params {
 		stmt, err := sqlparser.Bind(q.Stmt, p)
 		if err != nil {
@@ -151,14 +200,18 @@ func replayQuery(baseline, test *engine.DB, q *workload.QueryStats, minReplays i
 		resB, errB := baseline.ExecStmt(stmt)
 		resT, errT := test.ExecStmt(stmt)
 		if errB != nil || errT != nil {
+			if _, isSelect := stmt.(*sqlparser.Select); !isSelect && (errB == nil) != (errT == nil) {
+				// The statement mutated exactly one clone.
+				return 0, 0, replays, errDiverged
+			}
 			continue
 		}
 		before += resB.Stats.CPUSeconds()
 		after += resT.Stats.CPUSeconds()
-		n++
+		replays++
 	}
-	if n == 0 {
-		return 0, 0, fmt.Errorf("shadow: no replayable samples for %s", q.Normalized)
+	if replays == 0 {
+		return 0, 0, 0, fmt.Errorf("shadow: no replayable samples for %s", q.Normalized)
 	}
-	return before / float64(n), after / float64(n), nil
+	return before / float64(replays), after / float64(replays), replays, nil
 }

@@ -1,12 +1,14 @@
 package shadow
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
 
 	"aim/internal/catalog"
 	"aim/internal/engine"
+	"aim/internal/exec"
 	"aim/internal/workload"
 )
 
@@ -113,5 +115,91 @@ func TestOutcomeChange(t *testing.T) {
 	o = QueryOutcome{BeforeCPU: 0, AfterCPU: 1}
 	if o.Change() != 0 {
 		t.Error("zero baseline should be neutral")
+	}
+}
+
+func TestReplayQueryDivergesOnOneSidedDMLError(t *testing.T) {
+	// Two clones that are *already* out of step: the test side holds primary
+	// key 42, the baseline does not. Replaying INSERT (42, ...) succeeds on
+	// the baseline and fails with a duplicate-key error on the test side —
+	// exactly the one-sided DML failure that must abort the comparison
+	// instead of silently continuing with diverged clones.
+	mk := func(withExtra bool) *engine.DB {
+		db := engine.New("clone")
+		db.MustExec("CREATE TABLE t (id INT, a INT, PRIMARY KEY (id))")
+		for i := 0; i < 10; i++ {
+			db.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", i, i))
+		}
+		if withExtra {
+			db.MustExec("INSERT INTO t VALUES (42, 0)")
+		}
+		db.Analyze()
+		return db
+	}
+	baseline := mk(false)
+	test := mk(true)
+
+	mon := workload.NewMonitor()
+	if err := mon.Record("INSERT INTO t VALUES (42, 1)", exec.Stats{RowsWritten: 1}); err != nil {
+		t.Fatal(err)
+	}
+	q := mon.Queries()[0]
+
+	_, _, _, err := replayQuery(baseline, test, q, 3)
+	if !errors.Is(err, errDiverged) {
+		t.Fatalf("one-sided DML error returned %v, want errDiverged", err)
+	}
+	// The baseline must not have kept replaying after the divergence was
+	// detected (the write that did land is unavoidable, but only one).
+	res := baseline.MustExec("SELECT a FROM t WHERE id = 42")
+	if len(res.Rows) != 1 {
+		t.Fatalf("baseline rows for id=42: %d", len(res.Rows))
+	}
+}
+
+func TestReplayQuerySkipsBothSidedErrors(t *testing.T) {
+	// When BOTH clones fail the same replay (duplicate key on each), the
+	// clones stay in step: the sample is skipped, not treated as divergence.
+	mk := func() *engine.DB {
+		db := engine.New("clone")
+		db.MustExec("CREATE TABLE t (id INT, a INT, PRIMARY KEY (id))")
+		for i := 0; i < 10; i++ {
+			db.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", i, i))
+		}
+		db.Analyze()
+		return db
+	}
+	baseline, test := mk(), mk()
+	mon := workload.NewMonitor()
+	// id 5 exists on both sides: both inserts fail identically.
+	if err := mon.Record("INSERT INTO t VALUES (5, 1)", exec.Stats{RowsWritten: 1}); err != nil {
+		t.Fatal(err)
+	}
+	q := mon.Queries()[0]
+	_, _, _, err := replayQuery(baseline, test, q, 3)
+	if errors.Is(err, errDiverged) {
+		t.Fatal("both-sided error misreported as divergence")
+	}
+	if err == nil {
+		t.Fatal("expected no-replayable-samples error")
+	}
+}
+
+func TestReplayCountRecordedInOutcome(t *testing.T) {
+	db, mon := fixture(t)
+	good := &catalog.Index{Name: "aim_t_a", Table: "t", Columns: []string{"a"}, Hypothetical: true, CreatedBy: "aim"}
+	gate := DefaultGate()
+	gate.MaxReplays = 2
+	rep, err := Validate(db, []*catalog.Index{good}, mon, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) == 0 {
+		t.Fatal("no outcomes")
+	}
+	for _, out := range rep.Outcomes {
+		if out.Replays < 1 || out.Replays > gate.MaxReplays {
+			t.Errorf("outcome %s replays = %d, want 1..%d", out.Normalized, out.Replays, gate.MaxReplays)
+		}
 	}
 }
