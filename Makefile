@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race benchsmoke metricssmoke bench clean
+.PHONY: check vet build test race benchsmoke metricssmoke benchstorage benchstoragesmoke bench clean
 
 # check is the tier-1 gate: everything here must pass before a change lands.
-check: vet build race benchsmoke metricssmoke
+check: vet build race benchsmoke metricssmoke benchstoragesmoke
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +28,18 @@ benchsmoke:
 # env-gated out of plain `go test ./...`.
 metricssmoke:
 	AIM_METRICS_SMOKE=1 $(GO) test -run TestMetricsOverheadSmoke ./internal/core/
+
+# Storage fast-path benchmarks (bulk tree construction, shadow clones) vs
+# their incremental-Put baselines at 100k rows; writes BENCH_storage.json at
+# the repo root. Wall-clock sensitive, so the report run is env-gated.
+benchstorage:
+	AIM_BENCH_STORAGE=1 $(GO) test -run TestBenchStorageReport -v ./internal/storage/
+
+# One iteration of each storage fast-path benchmark as a smoke test (no
+# baselines, no report) — keeps `make check` fast while still exercising the
+# bulk clone/build paths end to end.
+benchstoragesmoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkStoreClone$$|BenchmarkBuildIndex$$' -benchtime 1x ./internal/storage/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 3x .

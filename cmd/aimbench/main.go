@@ -29,6 +29,7 @@ import (
 	"aim/internal/experiments"
 	"aim/internal/obs"
 	"aim/internal/pool"
+	"aim/internal/storage"
 	"aim/internal/workloads/products"
 )
 
@@ -56,6 +57,7 @@ func main() {
 	if *metrics || *traceOut != "" {
 		obsReg = obs.NewRegistry()
 		pool.Instrument(obsReg)
+		storage.Instrument(obsReg)
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			if err != nil {

@@ -29,6 +29,7 @@ import (
 	"aim/internal/obs"
 	"aim/internal/pool"
 	"aim/internal/shadow"
+	"aim/internal/storage"
 	"aim/internal/workload"
 )
 
@@ -60,6 +61,7 @@ func main() {
 	if *metrics || *traceOut != "" {
 		reg = obs.NewRegistry()
 		pool.Instrument(reg)
+		storage.Instrument(reg)
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			if err != nil {

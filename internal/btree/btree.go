@@ -118,14 +118,30 @@ func (l *leaf) search(key []byte) (int, bool) {
 }
 
 // Put inserts or replaces the value under key and reports whether the key
-// was newly inserted.
+// was newly inserted. The key is copied on insert; the replacement path
+// allocates nothing.
 func (t *Tree) Put(key []byte, val interface{}) bool {
-	k := append([]byte(nil), key...)
-	l, path := t.findLeaf(k)
-	i, found := l.search(k)
+	return t.put(key, val, true)
+}
+
+// PutOwned is Put without the defensive key copy: the caller hands over
+// ownership of a freshly-encoded buffer it will never modify. Builders that
+// encode keys per entry (index builds, batch loads) use it to skip one
+// allocation per insert.
+func (t *Tree) PutOwned(key []byte, val interface{}) bool {
+	return t.put(key, val, false)
+}
+
+func (t *Tree) put(key []byte, val interface{}, copyKey bool) bool {
+	l, path := t.findLeaf(key)
+	i, found := l.search(key)
 	if found {
 		l.vals[i] = val
 		return false
+	}
+	k := key
+	if copyKey {
+		k = append([]byte(nil), key...)
 	}
 	l.keys = append(l.keys, nil)
 	copy(l.keys[i+1:], l.keys[i:])
@@ -189,12 +205,12 @@ func (t *Tree) splitInner(in *inner, path []*inner) {
 	t.insertIntoParent(path, in, sep, right)
 }
 
-// Delete removes key and reports whether it was present. Underfull nodes are
-// tolerated (no rebalancing); empty leaves are unlinked lazily during scans.
-// This keeps deletion simple while preserving ordering invariants; the
-// workloads here are insert-dominated.
+// Delete removes key and reports whether it was present. Underfull nodes
+// are tolerated (no rebalancing), but a leaf that empties is unlinked from
+// the chain and pruned from its ancestors immediately so Leaves()-based
+// page accounting stays faithful after delete-heavy workloads.
 func (t *Tree) Delete(key []byte) bool {
-	l, _ := t.findLeaf(key)
+	l, path := t.findLeaf(key)
 	i, found := l.search(key)
 	if !found {
 		return false
@@ -202,7 +218,308 @@ func (t *Tree) Delete(key []byte) bool {
 	l.keys = append(l.keys[:i], l.keys[i+1:]...)
 	l.vals = append(l.vals[:i], l.vals[i+1:]...)
 	t.size--
+	if len(l.keys) == 0 {
+		t.unlinkLeaf(l, path)
+	}
 	return true
+}
+
+// unlinkLeaf removes a now-empty leaf from the chain and from the inner
+// structure, pruning ancestors that would be left childless. The root leaf
+// is kept as the empty tree's single page. Separators above the pruned
+// subtree may end up lower than the actual minimum beneath them; that is
+// safe — routing only requires separators to be lower bounds.
+func (t *Tree) unlinkLeaf(l *leaf, path []*inner) {
+	if len(path) == 0 {
+		return
+	}
+	// Walk up past ancestors that would become childless; they are pruned
+	// together with the leaf.
+	var child node = l
+	d := len(path) - 1
+	for d >= 0 && len(path[d].children) == 1 {
+		child = path[d]
+		d--
+	}
+	if d < 0 {
+		// Every ancestor had a single child: the tree is empty. Reset to a
+		// fresh single-leaf tree.
+		nl := &leaf{}
+		t.root, t.first = nl, nl
+		t.height, t.leaves = 1, 1
+		return
+	}
+	p := path[d]
+	ci := 0
+	for j, c := range p.children {
+		if c == child {
+			ci = j
+			break
+		}
+	}
+	// Dropping child ci drops one separator with it: keys[ci-1] bounds it
+	// from the left, except for child 0 whose right bound is keys[0].
+	ki := ci - 1
+	if ki < 0 {
+		ki = 0
+	}
+	p.keys = append(p.keys[:ki], p.keys[ki+1:]...)
+	p.children = append(p.children[:ci], p.children[ci+1:]...)
+	if l.prev != nil {
+		l.prev.next = l.next
+	} else {
+		t.first = l.next
+	}
+	if l.next != nil {
+		l.next.prev = l.prev
+	}
+	t.leaves--
+}
+
+// Item is one key/value pair handed to the bulk-construction paths.
+type Item struct {
+	Key []byte
+	Val interface{}
+}
+
+// Bulk-construction fill factors. Leaves and inner nodes are packed to ~90%
+// of capacity instead of 100% so a bulk-built tree absorbs follow-up Puts
+// without immediately splitting every page, and so Leaves()/Height() page
+// accounting matches what an incrementally-grown tree of the same size
+// reports (incremental splits leave pages 50-100% full; 90% sits inside the
+// same leaf-count ballpark while staying O(n/degree)).
+const (
+	bulkLeafFill = degree * 9 / 10 // entries per packed leaf
+	bulkNodeFill = degree*9/10 + 1 // children per packed inner node
+)
+
+// BulkLoad builds a tree from strictly-increasing sorted items in O(n):
+// items are packed directly into a chained leaf array and the inner levels
+// are assembled bottom-up — no descents, no binary searches, no key copies.
+// Ownership of the key slices transfers to the tree; callers must hand over
+// freshly-encoded buffers they will not modify. Panics if the input is not
+// strictly sorted (callers sort with bytes.Compare first).
+func BulkLoad(items []Item) *Tree {
+	t := &Tree{}
+	bulkInto(t, items)
+	return t
+}
+
+// bulkInto (re)initializes t from sorted items.
+func bulkInto(t *Tree, items []Item) {
+	if len(items) == 0 {
+		l := &leaf{}
+		t.root, t.first = l, l
+		t.height, t.leaves, t.size = 1, 1, 0
+		return
+	}
+	nLeaves := (len(items) + bulkLeafFill - 1) / bulkLeafFill
+	// Distribute entries evenly so the last leaf is never a near-empty runt.
+	base, extra := len(items)/nLeaves, len(items)%nLeaves
+	nodes := make([]node, 0, nLeaves)
+	lows := make([][]byte, 0, nLeaves)
+	var prev *leaf
+	var prevKey []byte
+	pos := 0
+	for i := 0; i < nLeaves; i++ {
+		cnt := base
+		if i < extra {
+			cnt++
+		}
+		l := &leaf{
+			keys: make([][]byte, cnt),
+			vals: make([]interface{}, cnt),
+			prev: prev,
+		}
+		for j := 0; j < cnt; j++ {
+			it := items[pos]
+			if prevKey != nil && bytes.Compare(prevKey, it.Key) >= 0 {
+				panic(fmt.Sprintf("btree: BulkLoad input not strictly sorted at %d", pos))
+			}
+			prevKey = it.Key
+			l.keys[j] = it.Key
+			l.vals[j] = it.Val
+			pos++
+		}
+		if prev != nil {
+			prev.next = l
+		}
+		prev = l
+		nodes = append(nodes, l)
+		lows = append(lows, l.keys[0])
+	}
+	t.first = nodes[0].(*leaf)
+	t.leaves = nLeaves
+	t.size = len(items)
+	t.height = 1
+	t.root = t.buildInnerLevels(nodes, lows)
+}
+
+// buildInnerLevels assembles inner levels bottom-up over nodes whose
+// smallest reachable keys are lows, returning the root and bumping height
+// once per level built.
+func (t *Tree) buildInnerLevels(nodes []node, lows [][]byte) node {
+	for len(nodes) > 1 {
+		nGroups := (len(nodes) + bulkNodeFill - 1) / bulkNodeFill
+		base, extra := len(nodes)/nGroups, len(nodes)%nGroups
+		next := make([]node, 0, nGroups)
+		nextLows := make([][]byte, 0, nGroups)
+		pos := 0
+		for g := 0; g < nGroups; g++ {
+			cnt := base
+			if g < extra {
+				cnt++
+			}
+			in := &inner{
+				keys:     make([][]byte, cnt-1),
+				children: make([]node, cnt),
+			}
+			copy(in.children, nodes[pos:pos+cnt])
+			for j := 1; j < cnt; j++ {
+				in.keys[j-1] = lows[pos+j]
+			}
+			next = append(next, in)
+			nextLows = append(nextLows, lows[pos])
+			pos += cnt
+		}
+		nodes, lows = next, nextLows
+		t.height++
+	}
+	return nodes[0]
+}
+
+// AppendBulk appends strictly-increasing items, all greater than the
+// current maximum key, in O(n + n/degree·height): the rightmost leaf is
+// topped up, then whole packed leaves are spliced onto the rightmost spine.
+// It reports whether the fast path applied; on false the tree is unchanged
+// and the caller should fall back to Put. Ownership of the key slices
+// transfers to the tree, as with BulkLoad.
+func (t *Tree) AppendBulk(items []Item) bool {
+	if len(items) == 0 {
+		return true
+	}
+	for i := 1; i < len(items); i++ {
+		if bytes.Compare(items[i-1].Key, items[i].Key) >= 0 {
+			return false
+		}
+	}
+	if t.size == 0 {
+		bulkInto(t, items)
+		return true
+	}
+	last := t.lastLeaf()
+	if bytes.Compare(last.keys[len(last.keys)-1], items[0].Key) >= 0 {
+		return false
+	}
+	pos := 0
+	for pos < len(items) && len(last.keys) < bulkLeafFill {
+		last.keys = append(last.keys, items[pos].Key)
+		last.vals = append(last.vals, items[pos].Val)
+		t.size++
+		pos++
+	}
+	for pos < len(items) {
+		cnt := len(items) - pos
+		if cnt > bulkLeafFill {
+			cnt = bulkLeafFill
+		}
+		nl := &leaf{
+			keys: make([][]byte, cnt),
+			vals: make([]interface{}, cnt),
+			prev: last,
+		}
+		for j := 0; j < cnt; j++ {
+			nl.keys[j] = items[pos].Key
+			nl.vals[j] = items[pos].Val
+			pos++
+		}
+		last.next = nl
+		t.leaves++
+		t.size += cnt
+		// Splice the new leaf into the rightmost spine; splits propagate
+		// through insertIntoParent exactly as for incremental growth. The
+		// path must be recomputed per leaf because splits restructure it.
+		t.insertIntoParent(t.rightmostPath(), last, nl.keys[0], nl)
+		last = nl
+	}
+	return true
+}
+
+// lastLeaf returns the rightmost leaf.
+func (t *Tree) lastLeaf() *leaf {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *leaf:
+			return v
+		case *inner:
+			n = v.children[len(v.children)-1]
+		}
+	}
+}
+
+// rightmostPath returns the inner nodes along the rightmost spine, root
+// first.
+func (t *Tree) rightmostPath() []*inner {
+	var path []*inner
+	n := t.root
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			return path
+		}
+		path = append(path, in)
+		n = in.children[len(in.children)-1]
+	}
+}
+
+// Clone returns a structurally identical copy of the tree in O(n): the leaf
+// chain is copied page-for-page (preserving Leaves()/Height() accounting
+// exactly) and the inner levels are rebuilt bottom-up. Key byte slices and
+// values are shared with the original — both trees treat stored keys as
+// immutable, so the share is safe and halves the memory cost of a clone.
+func (t *Tree) Clone() *Tree {
+	out := &Tree{}
+	if t.size == 0 {
+		l := &leaf{}
+		out.root, out.first = l, l
+		out.height, out.leaves = 1, 1
+		return out
+	}
+	nodes := make([]node, 0, t.leaves)
+	lows := make([][]byte, 0, t.leaves)
+	var prev *leaf
+	for l := t.first; l != nil; l = l.next {
+		if len(l.keys) == 0 {
+			continue // tolerated only transiently; never copied
+		}
+		nl := &leaf{
+			keys: append([][]byte(nil), l.keys...),
+			vals: append([]interface{}(nil), l.vals...),
+			prev: prev,
+		}
+		if prev != nil {
+			prev.next = nl
+		}
+		prev = nl
+		nodes = append(nodes, nl)
+		lows = append(lows, nl.keys[0])
+	}
+	out.first = nodes[0].(*leaf)
+	out.leaves = len(nodes)
+	out.size = t.size
+	out.height = 1
+	out.root = out.buildInnerLevels(nodes, lows)
+	return out
+}
+
+// FillPercent returns the average leaf occupancy as a percentage of leaf
+// capacity — the observability hook for bulk-load fill accounting.
+func (t *Tree) FillPercent() float64 {
+	if t.leaves == 0 {
+		return 0
+	}
+	return 100 * float64(t.size) / float64(t.leaves*degree)
 }
 
 // Iter is a forward iterator positioned on a sequence of entries.
@@ -284,6 +601,36 @@ func (it *Iter) Next() { it.advance() }
 // I/O accounting.
 func (it *Iter) LeavesWalked() int { return it.leavesWalked }
 
+// LeafLen returns the number of entries in the current leaf page, or 0 when
+// the iterator is exhausted. Together with SkipLeaf it supports page-stride
+// sampling (ANALYZE reads whole pages or skips them wholesale).
+func (it *Iter) LeafLen() int {
+	if !it.valid {
+		return 0
+	}
+	return len(it.l.keys)
+}
+
+// SkipLeaf advances to the first entry of the next leaf page without
+// visiting the remaining entries of the current one. The entered page
+// counts as walked; the skipped remainder of the current page was already
+// counted when the iterator entered it.
+func (it *Iter) SkipLeaf() {
+	if !it.valid {
+		return
+	}
+	it.l = it.l.next
+	for it.l != nil && len(it.l.keys) == 0 {
+		it.l = it.l.next
+	}
+	it.i = 0
+	it.valid = it.l != nil
+	if it.valid {
+		it.leavesWalked++
+	}
+	it.checkBound()
+}
+
 // Validate checks tree invariants and returns an error describing the first
 // violation. It is used by tests.
 func (t *Tree) Validate() error {
@@ -298,6 +645,48 @@ func (t *Tree) Validate() error {
 	}
 	if count != t.size {
 		return fmt.Errorf("btree: size %d but iterated %d", t.size, count)
+	}
+	// Cross-check the leaves counter against the actual chain, the chain's
+	// back-links, and the set of leaves reachable through the structure.
+	chain := 0
+	var prevL *leaf
+	for l := t.first; l != nil; l = l.next {
+		if l.prev != prevL {
+			return fmt.Errorf("btree: broken prev link at chain position %d", chain)
+		}
+		if len(l.keys) == 0 && t.size > 0 {
+			return fmt.Errorf("btree: empty leaf left in chain at position %d", chain)
+		}
+		chain++
+		prevL = l
+	}
+	if chain != t.leaves {
+		return fmt.Errorf("btree: leaves counter %d but chain has %d", t.leaves, chain)
+	}
+	var reachable []*leaf
+	var walk func(n node)
+	walk = func(n node) {
+		switch v := n.(type) {
+		case *leaf:
+			reachable = append(reachable, v)
+		case *inner:
+			for _, c := range v.children {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	if len(reachable) != chain {
+		return fmt.Errorf("btree: structure reaches %d leaves but chain has %d", len(reachable), chain)
+	}
+	for i, l := range reachable {
+		want := t.first
+		for j := 0; j < i; j++ {
+			want = want.next
+		}
+		if l != want {
+			return fmt.Errorf("btree: structure leaf %d is not chain leaf %d", i, i)
+		}
 	}
 	return t.validateNode(t.root, nil, nil)
 }

@@ -1,0 +1,100 @@
+package btree
+
+import (
+	"bytes"
+	"sort"
+)
+
+// SortItems sorts items by bytewise key order. It is the companion to
+// BulkLoad for callers whose entries are not naturally sorted (secondary
+// index keys emitted in clustered order): an MSD radix sort over the key
+// bytes, O(n·keylen) instead of O(n log n) comparisons, which is what makes
+// sort-then-bulk-load competitive with the clustered fast append. Equal
+// keys keep their relative order only if they are identical byte strings,
+// which BulkLoad rejects anyway — callers must guarantee unique keys.
+func SortItems(items []Item) {
+	if len(items) < 2 {
+		return
+	}
+	aux := make([]Item, len(items))
+	radixSortItems(items, aux, 0)
+}
+
+// radixCutoff is the bucket size below which comparison sort beats another
+// counting pass.
+const radixCutoff = 64
+
+func radixSortItems(items, aux []Item, depth int) {
+	for len(items) > radixCutoff {
+		// Bucket 0 holds keys exhausted at this depth; byte b lands in b+1.
+		var counts [257]int
+		for i := range items {
+			counts[bucketOf(items[i].Key, depth)]++
+		}
+		var offsets [257]int
+		sum := 0
+		for b, c := range counts {
+			offsets[b] = sum
+			sum += c
+		}
+		pos := offsets
+		for i := range items {
+			b := bucketOf(items[i].Key, depth)
+			aux[pos[b]] = items[i]
+			pos[b]++
+		}
+		copy(items, aux[:len(items)])
+		// Recurse into every byte bucket except the largest, which is handled
+		// by the enclosing loop (tail-call elimination bounds the stack by the
+		// number of distinct branching prefixes, not the key length).
+		largest := -1
+		for b := 1; b <= 256; b++ {
+			if counts[b] > 1 && (largest < 0 || counts[b] > counts[largest]) {
+				largest = b
+			}
+		}
+		for b := 1; b <= 256; b++ {
+			if b != largest && counts[b] > 1 {
+				radixSortItems(items[offsets[b]:offsets[b]+counts[b]], aux, depth+1)
+			}
+		}
+		if largest < 0 {
+			return
+		}
+		items = items[offsets[largest] : offsets[largest]+counts[largest]]
+		aux = aux[:len(items)]
+		depth++
+	}
+	sort.Sort(itemSuffixSort{items, depth})
+}
+
+// bucketOf maps the key byte at depth to a counting bucket: 0 for exhausted
+// keys (shorter keys sort first, matching bytes.Compare), 1+b otherwise.
+func bucketOf(key []byte, depth int) int {
+	if depth >= len(key) {
+		return 0
+	}
+	return int(key[depth]) + 1
+}
+
+type itemSuffixSort struct {
+	items []Item
+	depth int
+}
+
+func (s itemSuffixSort) Len() int { return len(s.items) }
+func (s itemSuffixSort) Less(i, j int) bool {
+	a, b := s.items[i].Key, s.items[j].Key
+	if s.depth < len(a) {
+		a = a[s.depth:]
+	} else {
+		a = nil
+	}
+	if s.depth < len(b) {
+		b = b[s.depth:]
+	} else {
+		b = nil
+	}
+	return bytes.Compare(a, b) < 0
+}
+func (s itemSuffixSort) Swap(i, j int) { s.items[i], s.items[j] = s.items[j], s.items[i] }

@@ -1,0 +1,53 @@
+package btree
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSortItemsMatchesComparisonSort(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 63, 64, 65, 1000, 50000} {
+		keys := map[string]bool{}
+		for len(keys) < n {
+			k := make([]byte, 1+r.Intn(24))
+			r.Read(k)
+			keys[string(k)] = true
+		}
+		items := make([]Item, 0, n)
+		for k := range keys {
+			items = append(items, Item{Key: []byte(k), Val: k})
+		}
+		want := append([]Item(nil), items...)
+		sort.Slice(want, func(i, j int) bool { return bytes.Compare(want[i].Key, want[j].Key) < 0 })
+		SortItems(items)
+		for i := range items {
+			if !bytes.Equal(items[i].Key, want[i].Key) || items[i].Val != want[i].Val {
+				t.Fatalf("n=%d: mismatch at %d: %q vs %q", n, i, items[i].Key, want[i].Key)
+			}
+		}
+	}
+}
+
+func TestSortItemsSharedPrefixes(t *testing.T) {
+	// Long shared prefixes force deep radix recursion; the suffix fallback
+	// must compare from the current depth, not from the key start.
+	prefix := bytes.Repeat([]byte{0xab}, 40)
+	var items []Item
+	for i := 999; i >= 0; i-- {
+		items = append(items, Item{Key: append(append([]byte(nil), prefix...), byte(i/256), byte(i%256)), Val: i})
+	}
+	// One key that is exactly the shared prefix: shorter sorts first.
+	items = append(items, Item{Key: append([]byte(nil), prefix...), Val: -1})
+	SortItems(items)
+	if items[0].Val != -1 {
+		t.Fatalf("shortest key not first: %v", items[0].Val)
+	}
+	for i := 1; i < len(items); i++ {
+		if bytes.Compare(items[i-1].Key, items[i].Key) >= 0 {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"aim/internal/exec"
 	"aim/internal/obs"
 	"aim/internal/optimizer"
+	"aim/internal/pool"
 	"aim/internal/sqlparser"
 	"aim/internal/sqltypes"
 	"aim/internal/stats"
@@ -315,17 +316,61 @@ func (db *DB) execCreateTable(s *sqlparser.CreateTable) (*Result, error) {
 
 // CreateIndex registers and materializes a secondary index.
 func (db *DB) CreateIndex(def *catalog.Index) (*Result, error) {
-	if def.Hypothetical {
-		return nil, fmt.Errorf("engine: cannot materialize hypothetical index %q", def.Name)
+	return db.CreateIndexes([]*catalog.Index{def})
+}
+
+// CreateIndexes registers and materializes several secondary indexes in one
+// batch. The per-index tree builds (scan + sort + bulk load) fan out over
+// the storage worker pool — builds only read the clustered trees and each
+// writes its own result slot — while schema registration, attachment and
+// metric folding stay sequential in input order, so the outcome is
+// byte-identical at any worker count. On any failure every index of the
+// batch is rolled back.
+func (db *DB) CreateIndexes(defs []*catalog.Index) (*Result, error) {
+	if len(defs) == 0 {
+		return &Result{}, nil
 	}
-	if err := db.Schema.AddIndex(def); err != nil {
-		return nil, err
+	registered := 0
+	rollback := func() {
+		for _, def := range defs[:registered] {
+			db.Schema.DropIndex(def.Name)
+		}
 	}
-	tbl := db.Store.Table(def.Table)
+	for _, def := range defs {
+		if def.Hypothetical {
+			rollback()
+			return nil, fmt.Errorf("engine: cannot materialize hypothetical index %q", def.Name)
+		}
+		if err := db.Schema.AddIndex(def); err != nil {
+			rollback()
+			return nil, err
+		}
+		registered++
+	}
+	built := make([]*storage.Index, len(defs))
+	errs := make([]error, len(defs))
+	ms := make([]storage.Metrics, len(defs))
+	pool.ForEach(db.Store.Workers, len(defs), func(i int) {
+		tbl := db.Store.Table(defs[i].Table)
+		if tbl == nil {
+			errs[i] = fmt.Errorf("engine: unknown table %q", defs[i].Table)
+			return
+		}
+		built[i], errs[i] = tbl.PrepareIndex(defs[i], &ms[i])
+	})
 	var m storage.Metrics
-	if _, err := tbl.BuildIndex(def, &m); err != nil {
-		db.Schema.DropIndex(def.Name)
-		return nil, err
+	for i := range defs {
+		if errs[i] == nil {
+			errs[i] = db.Store.Table(defs[i].Table).AttachIndex(built[i])
+		}
+		if errs[i] != nil {
+			for _, def := range defs[:i] {
+				db.Store.Table(def.Table).DropIndex(def.Name)
+			}
+			rollback()
+			return nil, errs[i]
+		}
+		m.Add(ms[i])
 	}
 	db.WhatIf.Invalidate()
 	return &Result{Stats: exec.Stats{RowsRead: m.RowsRead, PageReads: m.PageReads, IndexWrites: m.IndexWrites}}, nil
@@ -427,16 +472,16 @@ func (db *DB) Explain(sql string) ([]string, error) {
 }
 
 // InsertRows bulk-loads rows (already in full table column order) without
-// per-row SQL parsing. Generators use it to build benchmark datasets.
+// per-row SQL parsing. Generators use it to build benchmark datasets;
+// batches arriving in primary-key order take the storage layer's O(n)
+// bulk-append path.
 func (db *DB) InsertRows(table string, rows []sqltypes.Row) error {
 	tbl := db.Store.Table(table)
 	if tbl == nil {
 		return fmt.Errorf("engine: unknown table %q", table)
 	}
-	for _, row := range rows {
-		if err := tbl.Insert(row, nil); err != nil {
-			return err
-		}
+	if err := tbl.InsertBatch(rows, nil); err != nil {
+		return err
 	}
 	db.noteWrites(table, len(rows))
 	return nil

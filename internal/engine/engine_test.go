@@ -602,3 +602,63 @@ func TestOrderByHiddenColumn(t *testing.T) {
 		t.Fatalf("hidden sort column leaked: %v", res.Rows)
 	}
 }
+
+func TestCreateIndexesBatch(t *testing.T) {
+	db := newSalesDB(t)
+	defs := []*catalog.Index{
+		{Name: "ix_cust_city", Table: "customers", Columns: []string{"city"}, CreatedBy: "aim"},
+		{Name: "ix_orders_status", Table: "orders", Columns: []string{"status"}, CreatedBy: "aim"},
+		{Name: "ix_orders_day", Table: "orders", Columns: []string{"day"}, CreatedBy: "aim"},
+	}
+	res, err := db.CreateIndexes(defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.IndexWrites == 0 || res.Stats.RowsRead == 0 {
+		t.Errorf("batch build metrics empty: %+v", res.Stats)
+	}
+	for _, def := range defs {
+		if db.Schema.Index(def.Name) == nil {
+			t.Errorf("%s missing from schema", def.Name)
+		}
+		if db.Store.Table(def.Table).Index(def.Name) == nil {
+			t.Errorf("%s missing from store", def.Name)
+		}
+	}
+	// The batch-built indexes must serve queries like incrementally built ones.
+	r1, _ := db.Exec("SELECT id FROM orders WHERE status = 'paid'")
+	db2 := newSalesDB(t)
+	r2, _ := db2.Exec("SELECT id FROM orders WHERE status = 'paid'")
+	sameResults(t, r1.Rows, r2.Rows)
+	if len(r1.UsedIndexes) == 0 {
+		t.Errorf("batch-built index unused: %v", r1.PlanDesc)
+	}
+}
+
+func TestCreateIndexesBatchRollback(t *testing.T) {
+	db := newSalesDB(t)
+	defs := []*catalog.Index{
+		{Name: "ix_ok", Table: "customers", Columns: []string{"tier"}, CreatedBy: "aim"},
+		{Name: "ix_bad", Table: "orders", Columns: []string{"nope"}, CreatedBy: "aim"},
+	}
+	if _, err := db.CreateIndexes(defs); err == nil {
+		t.Fatal("bad column should fail the batch")
+	}
+	// The whole batch rolls back: neither schema nor store keeps the good one.
+	for _, name := range []string{"ix_ok", "ix_bad"} {
+		if db.Schema.Index(name) != nil {
+			t.Errorf("%s leaked into schema", name)
+		}
+	}
+	if db.Store.Table("customers").Index("ix_ok") != nil {
+		t.Error("ix_ok leaked into store")
+	}
+	// A hypothetical def must be refused without side effects.
+	hyp := []*catalog.Index{{Name: "ix_hyp", Table: "orders", Columns: []string{"day"}, Hypothetical: true}}
+	if _, err := db.CreateIndexes(hyp); err == nil {
+		t.Fatal("hypothetical index materialized")
+	}
+	if db.Schema.Index("ix_hyp") != nil {
+		t.Error("hypothetical def leaked into schema")
+	}
+}

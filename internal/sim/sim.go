@@ -10,6 +10,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"aim/internal/catalog"
 	"aim/internal/engine"
@@ -84,14 +85,29 @@ func (m *Machine) RunTick(tickIndex int) Tick {
 // BuildIndex materializes one index between ticks and charges its build
 // cost as a CPU annotation (the paper shows these as utilization bumps).
 func (m *Machine) BuildIndex(def *catalog.Index) (string, error) {
-	d := *def
-	d.Columns = append([]string(nil), def.Columns...)
-	d.Hypothetical = false
-	if _, err := m.DB.CreateIndex(&d); err != nil {
+	return m.BuildIndexes([]*catalog.Index{def})
+}
+
+// BuildIndexes materializes several indexes between ticks in one batch,
+// letting the engine fan the per-index bulk builds out over the storage
+// worker pool — the batched analogue of the paper's "indexes created
+// incrementally with sleeps in between" protocol when a recommendation
+// lands more than one index at once.
+func (m *Machine) BuildIndexes(defs []*catalog.Index) (string, error) {
+	copies := make([]*catalog.Index, len(defs))
+	names := make([]string, len(defs))
+	for i, def := range defs {
+		d := *def
+		d.Columns = append([]string(nil), def.Columns...)
+		d.Hypothetical = false
+		copies[i] = &d
+		names[i] = d.Name
+	}
+	if _, err := m.DB.CreateIndexes(copies); err != nil {
 		return "", err
 	}
 	m.DB.Analyze()
-	return fmt.Sprintf("index built: %s", d.Name), nil
+	return fmt.Sprintf("index built: %s", strings.Join(names, ", ")), nil
 }
 
 // Series is a labelled sequence of ticks from one machine.

@@ -254,27 +254,47 @@ func Collect(t *storage.Table, sampleLimit int) *TableStats {
 		}
 		return ts
 	}
-	// Pseudo-random (but deterministic) sampling: systematic every-Nth
-	// sampling aliases badly with periodic data, so hash the row position.
-	threshold := uint64(total)
-	if sampleLimit > 0 && int(total) > sampleLimit {
-		threshold = uint64(sampleLimit)
-	}
 	cols := make([][]sqltypes.Value, len(t.Def.Columns))
 	var bytes int64
-	i := 0
 	sampled := 0
-	for it := t.Data().Seek(nil); it.Valid(); it.Next() {
-		h := (uint64(i)*2654435761 + 0x9e3779b9) % uint64(total)
-		if h < threshold {
-			row := it.Value().(sqltypes.Row)
-			for c := range cols {
-				cols[c] = append(cols[c], row[c])
-			}
-			bytes += int64(row.Size())
-			sampled++
+	take := func(row sqltypes.Row) {
+		for c := range cols {
+			cols[c] = append(cols[c], row[c])
 		}
-		i++
+		bytes += int64(row.Size())
+		sampled++
+	}
+	if sampleLimit <= 0 || int(total) <= sampleLimit {
+		for it := t.Data().Seek(nil); it.Valid(); it.Next() {
+			take(it.Value().(sqltypes.Row))
+		}
+	} else {
+		// Page-stride sampling: pick whole leaf pages by a deterministic hash
+		// of the page position (systematic every-Nth selection aliases badly
+		// with periodic data) and skip unselected pages wholesale, so a
+		// capped ANALYZE reads ~sampleLimit rows' worth of pages instead of
+		// walking every entry in the table.
+		leaves := t.Data().Leaves()
+		rowsPerLeaf := (int(total) + leaves - 1) / leaves
+		target := (sampleLimit + rowsPerLeaf - 1) / rowsPerLeaf
+		if target < 1 {
+			target = 1
+		}
+		if target > leaves {
+			target = leaves
+		}
+		page := 0
+		for it := t.Data().Seek(nil); it.Valid(); page++ {
+			h := (uint64(page)*2654435761 + 0x9e3779b9) % uint64(leaves)
+			if h >= uint64(target) {
+				it.SkipLeaf()
+				continue
+			}
+			for n := it.LeafLen(); n > 0 && it.Valid(); n-- {
+				take(it.Value().(sqltypes.Row))
+				it.Next()
+			}
+		}
 	}
 	if sampled > 0 {
 		ts.AvgRowSize = float64(bytes) / float64(sampled)

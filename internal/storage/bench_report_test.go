@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"aim/internal/btree"
+	"aim/internal/catalog"
+	"aim/internal/sqltypes"
+)
+
+// benchRows is the fixture size for the storage fast-path benchmarks: large
+// enough that tree height and leaf-chain length dominate, small enough that
+// the incremental baselines still finish in a benchtime.
+const benchRows = 100_000
+
+var (
+	benchOnce  sync.Once
+	benchState *Store
+)
+
+// benchFixture returns a shared 100k-row store: one table with two
+// materialized secondary indexes, loaded through the sorted batch path.
+func benchFixture(tb testing.TB) *Store {
+	tb.Helper()
+	benchOnce.Do(func() {
+		def, err := catalog.NewTable("events", []catalog.Column{
+			{Name: "id", Type: sqltypes.KindInt},
+			{Name: "user_id", Type: sqltypes.KindInt},
+			{Name: "kind", Type: sqltypes.KindString},
+			{Name: "day", Type: sqltypes.KindInt},
+		}, []string{"id"})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		s := NewStore()
+		tbl, err := s.CreateTable(def)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		kinds := []string{"view", "click", "buy", "hide"}
+		rows := make([]sqltypes.Row, benchRows)
+		for i := range rows {
+			rows[i] = sqltypes.Row{
+				sqltypes.NewInt(int64(i)),
+				sqltypes.NewInt(int64((i * 7) % 9973)),
+				sqltypes.NewString(kinds[i%len(kinds)]),
+				sqltypes.NewInt(int64(i % 365)),
+			}
+		}
+		if err := tbl.InsertBatch(rows, nil); err != nil {
+			tb.Fatal(err)
+		}
+		for _, ix := range []*catalog.Index{
+			{Name: "ix_events_user", Table: "events", Columns: []string{"user_id"}},
+			{Name: "ix_events_kind_day", Table: "events", Columns: []string{"kind", "day"}},
+		} {
+			if _, err := tbl.BuildIndex(ix, nil); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		benchState = s
+	})
+	return benchState
+}
+
+// cloneIncremental is the pre-bulk-path baseline: rebuild every tree by
+// re-inserting each entry with Put, O(n log n) per tree.
+func cloneIncremental(s *Store) *Store {
+	out := &Store{tables: map[string]*Table{}, Workers: s.Workers}
+	for name, t := range s.tables {
+		nt := &Table{Def: t.Def, data: btree.New(), indexes: map[string]*Index{}, bytes: t.bytes}
+		for it := t.data.Seek(nil); it.Valid(); it.Next() {
+			nt.data.Put(it.Key(), it.Value())
+		}
+		for iname, ix := range t.indexes {
+			nix := &Index{Def: ix.Def, ordinals: ix.ordinals, pkOrds: ix.pkOrds, bytes: ix.bytes, tree: btree.New()}
+			for it := ix.tree.Seek(nil); it.Valid(); it.Next() {
+				nix.tree.Put(it.Key(), it.Value())
+			}
+			nt.indexes[iname] = nix
+		}
+		out.tables[name] = nt
+	}
+	return out
+}
+
+// buildIndexIncremental is the pre-bulk-path BuildIndex baseline, matching
+// the seed implementation: per-row entry-key encode, defensive pk copy, and
+// one key-copying Put per entry into a growing tree.
+func buildIndexIncremental(t *Table, def *catalog.Index) *Index {
+	ix := &Index{Def: def, pkOrds: t.Def.PrimaryKey, tree: btree.New()}
+	for _, c := range def.Columns {
+		ix.ordinals = append(ix.ordinals, t.Def.ColumnIndex(c))
+	}
+	for it := t.data.Seek(nil); it.Valid(); it.Next() {
+		row := it.Value().(sqltypes.Row)
+		pk := append([]byte(nil), it.Key()...)
+		ix.tree.Put(ix.entryKey(row), pk)
+		ix.bytes += ix.entrySize(row)
+	}
+	return ix
+}
+
+var benchSink interface{}
+
+func BenchmarkStoreClone(b *testing.B) {
+	s := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = s.Clone()
+	}
+}
+
+func BenchmarkStoreCloneIncremental(b *testing.B) {
+	s := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = cloneIncremental(s)
+	}
+}
+
+var benchBuildDef = &catalog.Index{Name: "ix_bench_user_day", Table: "events", Columns: []string{"user_id", "day"}}
+
+func BenchmarkBuildIndex(b *testing.B) {
+	tbl := benchFixture(b).Table("events")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := tbl.PrepareIndex(benchBuildDef, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = ix
+	}
+}
+
+func BenchmarkBuildIndexIncremental(b *testing.B) {
+	tbl := benchFixture(b).Table("events")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = buildIndexIncremental(tbl, benchBuildDef)
+	}
+}
+
+// TestBenchStorageReport runs the storage fast-path benchmarks against their
+// incremental baselines and records the results in BENCH_storage.json at the
+// repo root. Wall-clock sensitive, so it is env-gated out of plain
+// `go test ./...`; `make benchstorage` invokes it.
+func TestBenchStorageReport(t *testing.T) {
+	if os.Getenv("AIM_BENCH_STORAGE") == "" {
+		t.Skip("set AIM_BENCH_STORAGE=1 to run (invoked by make benchstorage)")
+	}
+	benchFixture(t)
+
+	type entry struct {
+		NsPerOp    int64 `json:"ns_per_op"`
+		Iterations int   `json:"iterations"`
+	}
+	run := func(f func(*testing.B)) entry {
+		r := testing.Benchmark(f)
+		return entry{NsPerOp: r.NsPerOp(), Iterations: r.N}
+	}
+	bench := map[string]entry{
+		"StoreClone":            run(BenchmarkStoreClone),
+		"StoreCloneIncremental": run(BenchmarkStoreCloneIncremental),
+		"BuildIndex":            run(BenchmarkBuildIndex),
+		"BuildIndexIncremental": run(BenchmarkBuildIndexIncremental),
+	}
+	ratio := func(base, fast string) float64 {
+		return float64(bench[base].NsPerOp) / float64(bench[fast].NsPerOp)
+	}
+	report := struct {
+		Rows       int                `json:"rows"`
+		GoVersion  string             `json:"go_version"`
+		GOMAXPROCS int                `json:"gomaxprocs"`
+		Benchmarks map[string]entry   `json:"benchmarks"`
+		Speedup    map[string]float64 `json:"speedup"`
+	}{
+		Rows:       benchRows,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: bench,
+		Speedup: map[string]float64{
+			"clone":       ratio("StoreCloneIncremental", "StoreClone"),
+			"build_index": ratio("BuildIndexIncremental", "BuildIndex"),
+		},
+	}
+	for name, sp := range report.Speedup {
+		t.Logf("%s speedup: %.2fx", name, sp)
+		if sp < 3 {
+			t.Errorf("%s fast path only %.2fx over the incremental baseline, want >= 3x", name, sp)
+		}
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_storage.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote BENCH_storage.json: clone %.2fx, build_index %.2fx\n",
+		report.Speedup["clone"], report.Speedup["build_index"])
+}

@@ -1,0 +1,320 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"aim/internal/catalog"
+	"aim/internal/obs"
+	"aim/internal/sqltypes"
+)
+
+// seededStore builds a store with two tables, secondary indexes, and rows
+// inserted in a shuffled (non-PK) order so clone equivalence is exercised
+// on trees grown incrementally.
+func seededStore(t testing.TB, rows int) *Store {
+	t.Helper()
+	s := NewStore()
+	users, err := catalog.NewTable("users", []catalog.Column{
+		{Name: "id", Type: sqltypes.KindInt},
+		{Name: "name", Type: sqltypes.KindString},
+		{Name: "age", Type: sqltypes.KindInt},
+		{Name: "city", Type: sqltypes.KindString},
+	}, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders, err := catalog.NewTable("orders", []catalog.Column{
+		{Name: "id", Type: sqltypes.KindInt},
+		{Name: "user_id", Type: sqltypes.KindInt},
+		{Name: "amount", Type: sqltypes.KindInt},
+	}, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ut, _ := s.CreateTable(users)
+	ot, _ := s.CreateTable(orders)
+	r := rand.New(rand.NewSource(17))
+	for _, i := range r.Perm(rows) {
+		if err := ut.Insert(userRow(int64(i), fmt.Sprintf("u%d", i), int64(i%80), fmt.Sprintf("c%d", i%13)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, i := range r.Perm(rows * 2) {
+		row := sqltypes.Row{sqltypes.NewInt(int64(i)), sqltypes.NewInt(int64(i % rows)), sqltypes.NewInt(int64(i % 997))}
+		if err := ot.Insert(row, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ut.BuildIndex(&catalog.Index{Name: "u_city_age", Table: "users", Columns: []string{"city", "age"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ot.BuildIndex(&catalog.Index{Name: "o_user", Table: "orders", Columns: []string{"user_id"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ot.BuildIndex(&catalog.Index{Name: "o_amount", Table: "orders", Columns: []string{"amount"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// renderStore serializes every table and index entry plus the page
+// accounting, for byte-identical comparisons.
+func renderStore(s *Store) string {
+	var b strings.Builder
+	var names []string
+	for name := range s.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := s.tables[name]
+		fmt.Fprintf(&b, "table %s rows=%d bytes=%d leaves=%d height=%d\n",
+			name, t.RowCount(), t.DataSize(), t.Data().Leaves(), t.Data().Height())
+		for it := t.Data().Seek(nil); it.Valid(); it.Next() {
+			fmt.Fprintf(&b, "  %x -> %v\n", it.Key(), it.Value())
+		}
+		var ixNames []string
+		for n := range t.indexes {
+			ixNames = append(ixNames, n)
+		}
+		sort.Strings(ixNames)
+		for _, n := range ixNames {
+			ix := t.indexes[n]
+			fmt.Fprintf(&b, "index %s len=%d bytes=%d leaves=%d height=%d\n",
+				n, ix.Len(), ix.SizeBytes(), ix.Tree().Leaves(), ix.Tree().Height())
+			for it := ix.Tree().Seek(nil); it.Valid(); it.Next() {
+				fmt.Fprintf(&b, "  %x -> %x\n", it.Key(), it.Value())
+			}
+		}
+	}
+	return b.String()
+}
+
+func TestCloneBulkEquivalence(t *testing.T) {
+	s := seededStore(t, 500)
+	clone := s.Clone()
+	if got, want := renderStore(clone), renderStore(s); got != want {
+		t.Fatal("clone is not entry-identical to the source")
+	}
+	// Tree invariants hold on every cloned tree.
+	for _, tbl := range clone.tables {
+		if err := tbl.Data().Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, ix := range tbl.indexes {
+			if err := ix.Tree().Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Clone isolation: mutations on one side must not appear on the other.
+	ct := clone.Table("users")
+	if err := ct.Insert(userRow(100000, "new", 1, "zz"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !ct.DeleteByPK(ct.PKKey(userRow(3, "", 0, "")), nil) {
+		t.Fatal("delete on clone failed")
+	}
+	st := s.Table("users")
+	if _, ok := st.GetByPK(st.PKKey(userRow(100000, "", 0, "")), nil); ok {
+		t.Fatal("clone insert leaked into source")
+	}
+	if _, ok := st.GetByPK(st.PKKey(userRow(3, "", 0, "")), nil); !ok {
+		t.Fatal("clone delete leaked into source")
+	}
+}
+
+func TestCloneDeterministicAcrossWorkers(t *testing.T) {
+	s := seededStore(t, 300)
+	var want string
+	for _, workers := range []int{1, 2, 8} {
+		s.Workers = workers
+		got := renderStore(s.Clone())
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("clone at workers=%d diverged from workers=1", workers)
+		}
+	}
+	// Instrumentation must not perturb the clone either.
+	Instrument(obs.NewRegistry())
+	defer Instrument(nil)
+	s.Workers = 4
+	if renderStore(s.Clone()) != want {
+		t.Fatal("instrumented clone diverged")
+	}
+}
+
+func TestCloneInheritsWorkers(t *testing.T) {
+	s := seededStore(t, 10)
+	s.Workers = 3
+	if got := s.Clone().Workers; got != 3 {
+		t.Fatalf("clone Workers = %d, want 3", got)
+	}
+}
+
+func TestBuildIndexBulkMatchesIncremental(t *testing.T) {
+	s := seededStore(t, 400)
+	tbl := s.Table("users")
+	var m Metrics
+	ix, err := tbl.BuildIndex(&catalog.Index{Name: "u_age", Table: "users", Columns: []string{"age"}}, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != tbl.RowCount() {
+		t.Fatalf("index len %d, rows %d", ix.Len(), tbl.RowCount())
+	}
+	if m.RowsRead != int64(tbl.RowCount()) || m.IndexWrites != int64(tbl.RowCount()) {
+		t.Fatalf("metrics = %+v", m)
+	}
+	// Reference: the entry set produced by per-row maintenance.
+	ref := NewTable(tbl.Def)
+	for it := tbl.Data().Seek(nil); it.Valid(); it.Next() {
+		if err := ref.Insert(it.Value().(sqltypes.Row), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rix, err := ref.BuildIndex(&catalog.Index{Name: "u_age", Table: "users", Columns: []string{"age"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, ib := ix.Tree().Seek(nil), rix.Tree().Seek(nil)
+	for ib.Valid() {
+		if !ia.Valid() || string(ia.Key()) != string(ib.Key()) || string(ia.Value().([]byte)) != string(ib.Value().([]byte)) {
+			t.Fatal("bulk-built index diverged from incremental reference")
+		}
+		ia.Next()
+		ib.Next()
+	}
+	if ia.Valid() {
+		t.Fatal("bulk-built index has extra entries")
+	}
+}
+
+func TestInsertBatchSortedFastPath(t *testing.T) {
+	mk := func() *Table { return newUsersTable(t) }
+	rows := make([]sqltypes.Row, 2000)
+	for i := range rows {
+		rows[i] = userRow(int64(i), fmt.Sprintf("u%d", i), int64(i%70), fmt.Sprintf("c%d", i%9))
+	}
+
+	batched := mk()
+	var bm Metrics
+	if err := batched.InsertBatch(rows, &bm); err != nil {
+		t.Fatal(err)
+	}
+	serial := mk()
+	for _, row := range rows {
+		if err := serial.Insert(row, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if batched.RowCount() != serial.RowCount() || batched.DataSize() != serial.DataSize() {
+		t.Fatalf("batch: rows=%d bytes=%d, serial: rows=%d bytes=%d",
+			batched.RowCount(), batched.DataSize(), serial.RowCount(), serial.DataSize())
+	}
+	ia, ib := batched.Data().Seek(nil), serial.Data().Seek(nil)
+	for ib.Valid() {
+		if !ia.Valid() || string(ia.Key()) != string(ib.Key()) {
+			t.Fatal("batched clustered tree diverged")
+		}
+		ia.Next()
+		ib.Next()
+	}
+	if err := batched.Data().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if bm.RowWrites != 2000 {
+		t.Fatalf("RowWrites = %d", bm.RowWrites)
+	}
+	// The bulk path must charge far fewer page writes than one descent per
+	// row.
+	if bm.PageReads >= 2000 {
+		t.Fatalf("bulk path charged %d page reads", bm.PageReads)
+	}
+
+	// A second sorted batch appends onto the non-empty table.
+	more := make([]sqltypes.Row, 500)
+	for i := range more {
+		more[i] = userRow(int64(2000+i), "x", 1, "c")
+	}
+	if err := batched.InsertBatch(more, nil); err != nil {
+		t.Fatal(err)
+	}
+	if batched.RowCount() != 2500 {
+		t.Fatalf("RowCount = %d", batched.RowCount())
+	}
+	if err := batched.Data().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertBatchMaintainsIndexes(t *testing.T) {
+	tbl := newUsersTable(t)
+	if _, err := tbl.BuildIndex(&catalog.Index{Name: "by_city", Table: "users", Columns: []string{"city"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]sqltypes.Row, 1000)
+	for i := range rows {
+		rows[i] = userRow(int64(i), "u", int64(i%50), fmt.Sprintf("c%02d", i%17))
+	}
+	if err := tbl.InsertBatch(rows, nil); err != nil {
+		t.Fatal(err)
+	}
+	ix := tbl.Index("by_city")
+	if ix.Len() != 1000 {
+		t.Fatalf("index len = %d", ix.Len())
+	}
+	if err := ix.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertBatchUnsortedFallback(t *testing.T) {
+	tbl := newUsersTable(t)
+	rows := []sqltypes.Row{
+		userRow(5, "e", 5, "c"),
+		userRow(1, "a", 1, "c"),
+		userRow(3, "c", 3, "c"),
+	}
+	if err := tbl.InsertBatch(rows, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.RowCount() != 3 {
+		t.Fatalf("RowCount = %d", tbl.RowCount())
+	}
+	if err := tbl.Data().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicates within an unsorted batch fail at the offending row.
+	if err := tbl.InsertBatch([]sqltypes.Row{userRow(10, "x", 1, "c"), userRow(5, "dup", 1, "c")}, nil); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	// A sorted batch overlapping existing keys routes to the fallback and
+	// fails cleanly too.
+	if err := tbl.InsertBatch([]sqltypes.Row{userRow(3, "dup", 1, "c"), userRow(20, "y", 1, "c")}, nil); err == nil {
+		t.Fatal("overlapping duplicate accepted")
+	}
+}
+
+func TestInsertBatchIsolatedFromCaller(t *testing.T) {
+	tbl := newUsersTable(t)
+	rows := []sqltypes.Row{userRow(1, "ann", 30, "sf")}
+	if err := tbl.InsertBatch(rows, nil); err != nil {
+		t.Fatal(err)
+	}
+	rows[0][1] = sqltypes.NewString("mutated")
+	got, _ := tbl.GetByPK(tbl.PKKey(userRow(1, "", 0, "")), nil)
+	if got[1].Str() != "ann" {
+		t.Fatal("stored row aliases caller's slice")
+	}
+}

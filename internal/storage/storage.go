@@ -9,13 +9,50 @@
 package storage
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"aim/internal/btree"
 	"aim/internal/catalog"
+	"aim/internal/obs"
+	"aim/internal/pool"
 	"aim/internal/sqltypes"
 )
+
+// metricsSet bundles the storage layer's observability handles so they swap
+// atomically as a unit (same pattern as internal/pool).
+type metricsSet struct {
+	bulkRows     *obs.Counter   // entries loaded through a bulk path
+	clones       *obs.Counter   // store clones performed
+	cloneSeconds *obs.Histogram // wall clock per Store.Clone
+	buildSeconds *obs.Histogram // wall clock per index build
+	leafFill     *obs.Histogram // leaf fill % of bulk-built trees
+}
+
+// instr holds the active metrics set; nil means instrumentation is off.
+var instr atomic.Pointer[metricsSet]
+
+// Instrument attaches storage metrics to the registry (nil detaches):
+// storage.{bulk_rows,clones} counters and the
+// storage.{clone_seconds,index_build_seconds,bulk_leaf_fill} histograms.
+// Metrics never influence behaviour — clones and builds are byte-identical
+// with instrumentation on or off.
+func Instrument(r *obs.Registry) {
+	if r == nil {
+		instr.Store(nil)
+		return
+	}
+	instr.Store(&metricsSet{
+		bulkRows:     r.Counter("storage.bulk_rows"),
+		clones:       r.Counter("storage.clones"),
+		cloneSeconds: r.Histogram("storage.clone_seconds"),
+		buildSeconds: r.Histogram("storage.index_build_seconds"),
+		leafFill:     r.Histogram("storage.bulk_leaf_fill"),
+	})
+}
 
 // Metrics accumulates physical work done by storage operations. The
 // executor aggregates these into per-query execution statistics.
@@ -127,14 +164,119 @@ func (t *Table) Insert(row sqltypes.Row, m *Metrics) error {
 		return fmt.Errorf("storage: duplicate primary key in table %s", t.Def.Name)
 	}
 	stored := row.Clone()
-	t.data.Put(key, stored)
+	// PKKey and entryKey encode fresh buffers: hand ownership to the trees
+	// instead of paying Put's defensive copy.
+	t.data.PutOwned(key, stored)
 	t.bytes += int64(stored.Size()) + 16
 	if m != nil {
 		m.RowWrites++
 		m.PageReads += int64(t.data.Height())
 	}
 	for _, ix := range t.indexes {
-		ix.tree.Put(ix.entryKey(stored), key)
+		ix.tree.PutOwned(ix.entryKey(stored), key)
+		ix.bytes += ix.entrySize(stored)
+		if m != nil {
+			m.IndexWrites++
+			m.PageReads += int64(ix.tree.Height())
+		}
+	}
+	return nil
+}
+
+// InsertBatch adds rows in one call. When the batch arrives in strictly
+// increasing primary-key order and appends beyond the table's current
+// maximum key (the common case: generators and ETL loads emit PK order),
+// the clustered tree takes the O(n) bulk-append path and secondary index
+// entries are built sort-then-bulk per index; otherwise it falls back to
+// per-row Insert. Duplicate keys fail the batch before any mutation on the
+// fast path, and at the offending row on the fallback path.
+func (t *Table) InsertBatch(rows []sqltypes.Row, m *Metrics) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	for _, row := range rows {
+		if len(row) != len(t.Def.Columns) {
+			return fmt.Errorf("storage: table %s expects %d columns, got %d", t.Def.Name, len(t.Def.Columns), len(row))
+		}
+	}
+	items := make([]btree.Item, len(rows))
+	sorted := true
+	var batchBytes int64
+	for i, row := range rows {
+		stored := row.Clone()
+		items[i] = btree.Item{Key: t.PKKey(stored), Val: stored}
+		batchBytes += int64(stored.Size()) + 16
+		if i > 0 && bytes.Compare(items[i-1].Key, items[i].Key) >= 0 {
+			sorted = false
+		}
+	}
+	fastPath := sorted
+	if fastPath {
+		// AppendBulk itself rejects overlap with existing keys, but probe the
+		// first key up front so a mid-function failure cannot half-apply.
+		if _, exists := t.data.Get(items[0].Key); exists {
+			fastPath = false
+		}
+	}
+	if fastPath && !t.data.AppendBulk(items) {
+		fastPath = false
+	}
+	if !fastPath {
+		for _, it := range items {
+			if err := t.insertStored(it.Key, it.Val.(sqltypes.Row), m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	t.bytes += batchBytes
+	if m != nil {
+		m.RowWrites += int64(len(rows))
+		// Bulk appends write whole pages, not per-row root-to-leaf descents.
+		m.PageReads += int64(len(rows)+1)/int64(bulkPageEntries) + 1
+	}
+	for _, ix := range t.indexes {
+		entries := make([]btree.Item, len(items))
+		for i := range items {
+			stored := items[i].Val.(sqltypes.Row)
+			entries[i] = btree.Item{Key: ix.entryKey(stored), Val: items[i].Key}
+			ix.bytes += ix.entrySize(stored)
+		}
+		btree.SortItems(entries)
+		if !ix.tree.AppendBulk(entries) {
+			for _, e := range entries {
+				ix.tree.PutOwned(e.Key, e.Val)
+			}
+		}
+		if m != nil {
+			m.IndexWrites += int64(len(entries))
+			m.PageReads += int64(len(entries)+1)/int64(bulkPageEntries) + 1
+		}
+	}
+	if ms := instr.Load(); ms != nil {
+		ms.bulkRows.Add(int64(len(rows)))
+		ms.leafFill.Observe(t.data.FillPercent())
+	}
+	return nil
+}
+
+// bulkPageEntries approximates entries per written page for bulk-append
+// I/O accounting (≈90% of the btree degree).
+const bulkPageEntries = 57
+
+// insertStored is Insert for a row whose clustered key is already encoded.
+func (t *Table) insertStored(key []byte, stored sqltypes.Row, m *Metrics) error {
+	if _, exists := t.data.Get(key); exists {
+		return fmt.Errorf("storage: duplicate primary key in table %s", t.Def.Name)
+	}
+	t.data.PutOwned(key, stored)
+	t.bytes += int64(stored.Size()) + 16
+	if m != nil {
+		m.RowWrites++
+		m.PageReads += int64(t.data.Height())
+	}
+	for _, ix := range t.indexes {
+		ix.tree.PutOwned(ix.entryKey(stored), key)
 		ix.bytes += ix.entrySize(stored)
 		if m != nil {
 			m.IndexWrites++
@@ -201,7 +343,7 @@ func (t *Table) Update(key []byte, newRow sqltypes.Row, m *Metrics) error {
 		}
 		t.data.Delete(key)
 	}
-	t.data.Put(newKey, stored)
+	t.data.PutOwned(newKey, stored)
 	t.bytes += int64(stored.Size()) - int64(oldRow.Size())
 	if m != nil {
 		m.RowWrites++
@@ -214,7 +356,7 @@ func (t *Table) Update(key []byte, newRow sqltypes.Row, m *Metrics) error {
 			continue
 		}
 		ix.tree.Delete(oldEntry)
-		ix.tree.Put(newEntry, newKey)
+		ix.tree.PutOwned(newEntry, newKey)
 		ix.bytes += ix.entrySize(stored) - ix.entrySize(oldRow)
 		if m != nil {
 			m.IndexWrites++
@@ -227,11 +369,29 @@ func (t *Table) Update(key []byte, newRow sqltypes.Row, m *Metrics) error {
 // BuildIndex materializes a new secondary index over the current table
 // contents. The definition must reference only existing columns.
 func (t *Table) BuildIndex(def *catalog.Index, m *Metrics) (*Index, error) {
+	ix, err := t.PrepareIndex(def, m)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.AttachIndex(ix); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// PrepareIndex builds a secondary index over the current table contents
+// without attaching it, so several index builds over the same table can run
+// concurrently (builds only read the clustered tree; AttachIndex serializes
+// the map write). Entry keys are collected in one clustered scan, sorted
+// bytewise when the scan order does not already match (secondary entry keys
+// are generally not PK-ordered), and bulk-loaded in O(n).
+func (t *Table) PrepareIndex(def *catalog.Index, m *Metrics) (*Index, error) {
 	lower := strings.ToLower(def.Name)
 	if _, dup := t.indexes[lower]; dup {
 		return nil, fmt.Errorf("storage: index %q already materialized", def.Name)
 	}
-	ix := &Index{Def: def, tree: btree.New(), pkOrds: t.Def.PrimaryKey}
+	start := time.Now()
+	ix := &Index{Def: def, pkOrds: t.Def.PrimaryKey}
 	for _, c := range def.Columns {
 		o := t.Def.ColumnIndex(c)
 		if o < 0 {
@@ -239,21 +399,60 @@ func (t *Table) BuildIndex(def *catalog.Index, m *Metrics) (*Index, error) {
 		}
 		ix.ordinals = append(ix.ordinals, o)
 	}
+	items := make([]btree.Item, 0, t.data.Len())
+	vals := make([]sqltypes.Value, len(ix.ordinals))
+	var scratch []byte
+	sorted := true
 	for it := t.data.Seek(nil); it.Valid(); it.Next() {
 		row := it.Value().(sqltypes.Row)
-		key := append([]byte(nil), it.Key()...)
-		ix.tree.Put(ix.entryKey(row), key)
+		// The stored clustered key is immutable: share it as the entry value
+		// and splice its bytes into the entry key instead of re-encoding the
+		// pk columns (key encoding is concatenative per value).
+		pk := it.Key()
+		for i, o := range ix.ordinals {
+			vals[i] = row[o]
+		}
+		scratch = sqltypes.EncodeKey(scratch[:0], vals...)
+		key := make([]byte, len(scratch)+len(pk))
+		copy(key[copy(key, scratch):], pk)
+		if sorted && len(items) > 0 && bytes.Compare(items[len(items)-1].Key, key) >= 0 {
+			sorted = false
+		}
+		items = append(items, btree.Item{Key: key, Val: pk})
 		ix.bytes += ix.entrySize(row)
 		if m != nil {
 			m.RowsRead++
 			m.IndexWrites++
 		}
 	}
+	// Sorted-input detection: an index whose columns form a PK prefix emits
+	// entries already in clustered order — skip the sort for those.
+	if !sorted {
+		btree.SortItems(items)
+	}
+	// Entry keys are unique (PK suffix) and freshly encoded: ownership
+	// transfers to the tree, no re-copy.
+	ix.tree = btree.BulkLoad(items)
 	if m != nil {
 		m.PageReads += int64(t.data.Leaves() + ix.tree.Leaves())
 	}
-	t.indexes[lower] = ix
+	if ms := instr.Load(); ms != nil {
+		ms.bulkRows.Add(int64(len(items)))
+		ms.leafFill.Observe(ix.tree.FillPercent())
+		ms.buildSeconds.Observe(time.Since(start).Seconds())
+	}
 	return ix, nil
+}
+
+// AttachIndex registers a prepared index on the table. It fails if an index
+// with the same name is already attached.
+func (t *Table) AttachIndex(ix *Index) error {
+	lower := strings.ToLower(ix.Def.Name)
+	if _, dup := t.indexes[lower]; dup {
+		return fmt.Errorf("storage: index %q already materialized", ix.Def.Name)
+	}
+	t.indexes[lower] = ix
+	return nil
 }
 
 // DropIndex removes a materialized index and reports whether it existed.
@@ -269,6 +468,11 @@ func (t *Table) DropIndex(name string) bool {
 // Store is a collection of tables keyed by lower-cased name.
 type Store struct {
 	tables map[string]*Table
+	// Workers bounds the fan-out of per-tree clone work (0 = GOMAXPROCS).
+	// Clone output is structural — byte-identical at any worker count — so
+	// this only trades wall clock for cores. Set before concurrent use;
+	// clones inherit the setting.
+	Workers int
 }
 
 // NewStore returns an empty store.
@@ -299,27 +503,41 @@ func (s *Store) TotalIndexBytes() int64 {
 	return n
 }
 
-// Clone produces a deep logical copy of the store: rows are shared (they
-// are treated as immutable once stored — all mutations replace rows), trees
-// are rebuilt. This is the substrate for the MyShadow clone environment.
+// Clone produces a deep logical copy of the store: rows and key bytes are
+// shared (both are treated as immutable once stored — all mutations replace
+// rows), trees are copied leaf-chain-for-leaf-chain in O(n) via
+// btree.Clone. Per-tree copy work (each table's clustered tree and every
+// secondary index tree) fans out over the worker pool; every job writes
+// only its own pre-assigned slot, so the result is byte-identical at any
+// worker count. This is the substrate for the MyShadow clone environment.
 func (s *Store) Clone() *Store {
-	out := NewStore()
+	start := time.Now()
+	out := &Store{tables: map[string]*Table{}, Workers: s.Workers}
+	// Assemble the full result skeleton and the flat job list sequentially;
+	// only the tree copies themselves run on the pool.
+	var jobs []func()
+	var entries int64
 	for name, t := range s.tables {
-		nt := NewTable(t.Def)
-		for it := t.data.Seek(nil); it.Valid(); it.Next() {
-			nt.data.Put(it.Key(), it.Value())
-		}
-		nt.bytes = t.bytes
+		t := t
+		nt := &Table{Def: t.Def, indexes: map[string]*Index{}, bytes: t.bytes}
+		jobs = append(jobs, func() { nt.data = t.data.Clone() })
+		entries += int64(t.data.Len())
 		for iname, ix := range t.indexes {
+			ix := ix
 			def := *ix.Def
 			def.Columns = append([]string(nil), ix.Def.Columns...)
-			nix := &Index{Def: &def, tree: btree.New(), ordinals: append([]int(nil), ix.ordinals...), pkOrds: ix.pkOrds, bytes: ix.bytes}
-			for it := ix.tree.Seek(nil); it.Valid(); it.Next() {
-				nix.tree.Put(it.Key(), it.Value())
-			}
+			nix := &Index{Def: &def, ordinals: append([]int(nil), ix.ordinals...), pkOrds: ix.pkOrds, bytes: ix.bytes}
+			jobs = append(jobs, func() { nix.tree = ix.tree.Clone() })
+			entries += int64(ix.tree.Len())
 			nt.indexes[iname] = nix
 		}
 		out.tables[name] = nt
+	}
+	pool.ForEach(s.Workers, len(jobs), func(i int) { jobs[i]() })
+	if ms := instr.Load(); ms != nil {
+		ms.clones.Inc()
+		ms.bulkRows.Add(entries)
+		ms.cloneSeconds.Observe(time.Since(start).Seconds())
 	}
 	return out
 }
