@@ -1,6 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race benchsmoke metricssmoke benchstorage benchstoragesmoke bench clean
+# Per-target budget for the CI fuzz smoke (FUZZTIME=5s for a quick local run).
+FUZZTIME ?= 30s
+
+# Minimum total statement coverage `make cover` accepts. The repo measures
+# 77.8% at the time this gate was added; the floor sits just below to absorb
+# counting noise while still catching real coverage regressions.
+COVER_BASELINE ?= 76.0
+
+.PHONY: check vet build test race benchsmoke metricssmoke benchstorage benchstoragesmoke bench fuzzsmoke faultsuite cover clean
 
 # check is the tier-1 gate: everything here must pass before a change lands.
 check: vet build race benchsmoke metricssmoke benchstoragesmoke
@@ -23,11 +31,37 @@ race:
 benchsmoke:
 	$(GO) test -run '^$$' -bench BenchmarkAdvisor -benchtime 1x .
 
-# Observability overhead gate: a fully instrumented advisor run must stay
-# within 5% of an uninstrumented one. Wall-clock sensitive, so it is
-# env-gated out of plain `go test ./...`.
+# Observability + failpoint overhead gate: a fully instrumented advisor run
+# must stay within 5% of an uninstrumented one, and an advisor run with
+# failpoints armed-but-unmatched within 1% of one with injection off.
+# Wall-clock sensitive, so both are env-gated out of plain `go test ./...`.
 metricssmoke:
-	AIM_METRICS_SMOKE=1 $(GO) test -run TestMetricsOverheadSmoke ./internal/core/
+	AIM_METRICS_SMOKE=1 $(GO) test -run 'TestMetricsOverheadSmoke|TestFailpointOverheadSmoke' ./internal/core/
+
+# Short budgeted runs of every native fuzz target: the bulk-load/merge/DNF
+# equivalence properties and the failpoint spec parser. Go allows one -fuzz
+# pattern per invocation, hence one line per target.
+fuzzsmoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzBulkLoadEquivalence$$' -fuzztime $(FUZZTIME) ./internal/btree/
+	$(GO) test -run '^$$' -fuzz 'FuzzMergeCandidatesPairwise$$' -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -run '^$$' -fuzz 'FuzzDNFSemanticEquivalence$$' -fuzztime $(FUZZTIME) ./internal/queryinfo/
+	$(GO) test -run '^$$' -fuzz 'FuzzFailpointSpec$$' -fuzztime $(FUZZTIME) ./internal/failpoint/
+
+# The fault-injection acceptance sweep: 1000 tuning cycles at fault rates
+# {1%, 5%, 20%} with a fixed seed, asserting no ungated adoptions, no
+# partial-index leaks and convergence to the fault-free recommendation set.
+faultsuite:
+	AIM_FAULT_SUITE=1 $(GO) test -run TestTuningLoopUnderFaults -v ./internal/experiments/
+
+# Coverage gate: full-repo statement coverage must not drop below
+# COVER_BASELINE. Writes coverage.out + coverage.html at the repo root.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -html=coverage.out -o coverage.html
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_BASELINE)%)"; \
+	awk -v t="$$total" -v f="$(COVER_BASELINE)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || \
+	{ echo "coverage $$total% fell below the $(COVER_BASELINE)% floor"; exit 1; }
 
 # Storage fast-path benchmarks (bulk tree construction, shadow clones) vs
 # their incremental-Put baselines at 100k rows; writes BENCH_storage.json at

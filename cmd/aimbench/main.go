@@ -27,6 +27,7 @@ import (
 	"text/tabwriter"
 
 	"aim/internal/experiments"
+	"aim/internal/failpoint"
 	"aim/internal/obs"
 	"aim/internal/pool"
 	"aim/internal/storage"
@@ -45,7 +46,14 @@ func main() {
 	workers := flag.Int("workers", 0, "cap what-if costing parallelism (0 = all cores)")
 	metrics := flag.Bool("metrics", false, "print the metrics registry after each experiment")
 	traceOut := flag.String("trace-out", "", "write advisor spans as JSON lines to this file")
+	failpoints := flag.String("failpoints", "", `fault spec, e.g. "shadow.clone=err(0.05)" (or env `+failpoint.EnvVar+")")
+	fpSeed := flag.Int64("failpoint-seed", 1, "seed for failpoint firing schedules")
 	flag.Parse()
+
+	if _, err := failpoint.Setup(*failpoints, *fpSeed); err != nil {
+		fmt.Fprintf(os.Stderr, "aimbench: %v\n", err)
+		os.Exit(1)
+	}
 
 	// The experiments construct their advisor configs internally with the
 	// default Parallelism (0 = GOMAXPROCS), so bounding GOMAXPROCS bounds
@@ -58,6 +66,7 @@ func main() {
 		obsReg = obs.NewRegistry()
 		pool.Instrument(obsReg)
 		storage.Instrument(obsReg)
+		failpoint.Instrument(obsReg)
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			if err != nil {

@@ -26,6 +26,7 @@ import (
 
 	"aim/internal/core"
 	"aim/internal/engine"
+	"aim/internal/failpoint"
 	"aim/internal/obs"
 	"aim/internal/pool"
 	"aim/internal/shadow"
@@ -55,13 +56,20 @@ func main() {
 	workers := flag.Int("workers", 0, "what-if costing worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	metrics := flag.Bool("metrics", false, "print the metrics registry after the run")
 	traceOut := flag.String("trace-out", "", "write advisor spans as JSON lines to this file")
+	failpoints := flag.String("failpoints", "", `fault spec, e.g. "shadow.clone=err(0.05)" (or env `+failpoint.EnvVar+")")
+	fpSeed := flag.Int64("failpoint-seed", 1, "seed for failpoint firing schedules")
 	flag.Parse()
+
+	if _, err := failpoint.Setup(*failpoints, *fpSeed); err != nil {
+		fatal(err)
+	}
 
 	var reg *obs.Registry
 	if *metrics || *traceOut != "" {
 		reg = obs.NewRegistry()
 		pool.Instrument(reg)
 		storage.Instrument(reg)
+		failpoint.Instrument(reg)
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			if err != nil {

@@ -336,17 +336,26 @@ func (a *Advisor) findUnusedIndexes(rep []*workload.QueryStats) ([]*catalog.Inde
 
 // Apply materializes a recommendation on the database: builds the created
 // indexes (clearing their hypothetical flag) and drops the flagged ones.
-// It returns the names of created indexes.
+// It returns the names of created indexes. The creates go through one
+// CreateIndexes batch, so a build failure rolls the whole set back —
+// a faulting Apply leaves the catalog exactly as it found it rather than
+// adopting a prefix of the recommendation.
 func (a *Advisor) Apply(rec *Recommendation) ([]string, error) {
 	var created []string
-	for _, ix := range rec.Create {
-		def := *ix
-		def.Columns = append([]string(nil), ix.Columns...)
-		def.Hypothetical = false
-		if _, err := a.DB.CreateIndex(&def); err != nil {
-			return created, err
+	if len(rec.Create) > 0 {
+		defs := make([]*catalog.Index, len(rec.Create))
+		for i, ix := range rec.Create {
+			def := *ix
+			def.Columns = append([]string(nil), ix.Columns...)
+			def.Hypothetical = false
+			defs[i] = &def
 		}
-		created = append(created, def.Name)
+		if _, err := a.DB.CreateIndexes(defs); err != nil {
+			return nil, err
+		}
+		for _, def := range defs {
+			created = append(created, def.Name)
+		}
 	}
 	for _, ix := range rec.Drop {
 		if _, err := a.DB.DropIndex(ix.Name); err != nil {

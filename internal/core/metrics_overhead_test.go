@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"aim/internal/failpoint"
 	"aim/internal/obs"
 	"aim/internal/pool"
 	"aim/internal/workload"
@@ -84,5 +85,84 @@ func TestMetricsOverheadSmoke(t *testing.T) {
 	if bestMetrics > limit {
 		t.Errorf("instrumented run %v exceeds %v (plain %v + 5%% + 20ms slack)",
 			bestMetrics, limit, bestPlain)
+	}
+}
+
+// TestFailpointOverheadSmoke checks that the failpoint sites threaded
+// through the tuning loop cost nothing when injection is off: an advisor
+// run with an active registry whose sites never match (the worst disabled
+// case — every Inject does the atomic load plus a map miss) must stay
+// within 1% of a run with no registry at all, plus absolute slack for
+// timer noise. Gated like the metrics smoke because wall-clock comparisons
+// are machine-sensitive.
+func TestFailpointOverheadSmoke(t *testing.T) {
+	if os.Getenv("AIM_METRICS_SMOKE") == "" {
+		t.Skip("set AIM_METRICS_SMOKE=1 to run (invoked by make metricssmoke)")
+	}
+	if failpoint.Enabled() {
+		t.Fatal("failpoints already active")
+	}
+
+	setup := func() (*Advisor, *workload.Monitor) {
+		db, queries := ecommerceGoldenDB(t)
+		cfg := DefaultConfig()
+		cfg.Selection.MinExecutions = 1
+		cfg.Selection.MinBenefit = 0
+		adv := NewAdvisor(db, cfg)
+		mon := workload.NewMonitor()
+		for _, q := range queries {
+			res, err := db.Exec(q)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			for i := 0; i < 3; i++ {
+				if err := mon.Record(q, res.Stats); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return adv, mon
+	}
+
+	advOff, monOff := setup()
+	advOn, monOn := setup()
+	// A registry with one armed site no loop code path ever evaluates.
+	noMatch, err := failpoint.Parse("nonexistent.site=err(1)", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	timeRun := func(adv *Advisor, mon *workload.Monitor) time.Duration {
+		start := time.Now()
+		if _, err := adv.Recommend(mon); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	timeRun(advOff, monOff)
+	failpoint.Activate(noMatch)
+	timeRun(advOn, monOn)
+	failpoint.Activate(nil)
+
+	const rounds = 5
+	bestOff, bestOn := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < rounds; i++ {
+		if d := timeRun(advOff, monOff); d < bestOff {
+			bestOff = d
+		}
+		failpoint.Activate(noMatch)
+		d := timeRun(advOn, monOn)
+		failpoint.Activate(nil)
+		if d < bestOn {
+			bestOn = d
+		}
+	}
+
+	limit := bestOff + bestOff/100 + 10*time.Millisecond
+	t.Logf("off=%v armed-no-match=%v limit=%v", bestOff, bestOn, limit)
+	if bestOn > limit {
+		t.Errorf("failpoint-armed run %v exceeds %v (off %v + 1%% + 10ms slack)",
+			bestOn, limit, bestOff)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"aim/internal/catalog"
+	"aim/internal/failpoint"
 	"aim/internal/obs"
 	"aim/internal/optimizer"
 	"aim/internal/sqlparser"
@@ -117,10 +118,16 @@ func (cs *Coster) selectVia(mode string, sel *sqlparser.Select, config []*catalo
 		return compute()
 	}
 	k := key(mode, sel, config)
-	if v, ok := cs.cache.Get(k); ok {
-		r := v.(*selResult)
-		cs.Opt.AddCalls(callsFor(sel))
-		return r.est, r.err
+	// The "costcache.lookup" failpoint degrades a lookup into a forced
+	// miss: the estimate is recomputed (identical result, so
+	// recommendations are unaffected) instead of served from memory —
+	// cache loss must never change what the advisor decides.
+	if failpoint.Inject("costcache.lookup") == nil {
+		if v, ok := cs.cache.Get(k); ok {
+			r := v.(*selResult)
+			cs.Opt.AddCalls(callsFor(sel))
+			return r.est, r.err
+		}
 	}
 	est, err := compute()
 	cs.cache.Put(k, &selResult{est: est, err: err})
@@ -133,10 +140,12 @@ func (cs *Coster) dmlVia(mode string, stmt sqlparser.Statement, config []*catalo
 		return compute()
 	}
 	k := key(mode, stmt, config)
-	if v, ok := cs.cache.Get(k); ok {
-		r := v.(*dmlResult)
-		cs.Opt.AddCalls(callsFor(stmt))
-		return r.est, r.err
+	if failpoint.Inject("costcache.lookup") == nil {
+		if v, ok := cs.cache.Get(k); ok {
+			r := v.(*dmlResult)
+			cs.Opt.AddCalls(callsFor(stmt))
+			return r.est, r.err
+		}
 	}
 	est, err := compute()
 	cs.cache.Put(k, &dmlResult{est: est, err: err})

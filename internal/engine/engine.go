@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"aim/internal/catalog"
 	"aim/internal/costcache"
 	"aim/internal/exec"
+	"aim/internal/failpoint"
 	"aim/internal/obs"
 	"aim/internal/optimizer"
 	"aim/internal/pool"
@@ -319,6 +321,12 @@ func (db *DB) CreateIndex(def *catalog.Index) (*Result, error) {
 	return db.CreateIndexes([]*catalog.Index{def})
 }
 
+// buildPolicy bounds per-index build retries inside CreateIndexes: a
+// transient build failure (the "engine.create_index" failpoint, or a real
+// allocator/IO error in a disk-backed port) is retried with backoff before
+// the whole batch rolls back.
+var buildPolicy = failpoint.Policy{Attempts: 3, Base: 500 * time.Microsecond, Max: 4 * time.Millisecond, Deadline: 250 * time.Millisecond}
+
 // CreateIndexes registers and materializes several secondary indexes in one
 // batch. The per-index tree builds (scan + sort + bulk load) fan out over
 // the storage worker pool — builds only read the clustered trees and each
@@ -356,7 +364,19 @@ func (db *DB) CreateIndexes(defs []*catalog.Index) (*Result, error) {
 			errs[i] = fmt.Errorf("engine: unknown table %q", defs[i].Table)
 			return
 		}
-		built[i], errs[i] = tbl.PrepareIndex(defs[i], &ms[i])
+		// Per-index builds retry transient failures (the
+		// "engine.create_index" failpoint stands in for them) with bounded
+		// backoff; metrics reset per attempt so a retried build is not
+		// double-counted.
+		errs[i] = buildPolicy.Do(func() error {
+			if err := failpoint.Inject("engine.create_index"); err != nil {
+				return err
+			}
+			ms[i] = storage.Metrics{}
+			var err error
+			built[i], err = tbl.PrepareIndex(defs[i], &ms[i])
+			return err
+		})
 	})
 	var m storage.Metrics
 	for i := range defs {
@@ -376,11 +396,16 @@ func (db *DB) CreateIndexes(defs []*catalog.Index) (*Result, error) {
 	return &Result{Stats: exec.Stats{RowsRead: m.RowsRead, PageReads: m.PageReads, IndexWrites: m.IndexWrites}}, nil
 }
 
-// DropIndex removes a secondary index from the schema and store.
+// DropIndex removes a secondary index from the schema and store. The
+// "engine.drop_index" failpoint fires before any mutation, so an injected
+// drop failure leaves the index fully intact (regression.Revert retries it).
 func (db *DB) DropIndex(name string) (*Result, error) {
 	ix := db.Schema.Index(name)
 	if ix == nil {
 		return nil, fmt.Errorf("engine: unknown index %q", name)
+	}
+	if err := failpoint.Inject("engine.drop_index"); err != nil {
+		return nil, err
 	}
 	db.Schema.DropIndex(name)
 	if tbl := db.Store.Table(ix.Table); tbl != nil {
@@ -435,10 +460,26 @@ func (db *DB) TotalIndexBytes() int64 { return db.Store.TotalIndexBytes() }
 // statistics). This is the MyShadow substrate: experiments run on the clone
 // never touch the original.
 func (db *DB) Clone(name string) *DB {
+	return db.cloneFrom(name, db.Store.Clone())
+}
+
+// CloneChecked is Clone behind the storage layer's "storage.clone"
+// failpoint. The continuous-tuning path (shadow validation) clones through
+// this so a dying clone build surfaces as an error the caller can retry or
+// degrade on, instead of an invariant the loop silently assumes.
+func (db *DB) CloneChecked(name string) (*DB, error) {
+	st, err := db.Store.CloneChecked()
+	if err != nil {
+		return nil, err
+	}
+	return db.cloneFrom(name, st), nil
+}
+
+func (db *DB) cloneFrom(name string, store *storage.Store) *DB {
 	out := &DB{
 		Name:        name,
 		Schema:      db.Schema.Clone(),
-		Store:       db.Store.Clone(),
+		Store:       store,
 		statsCache:  map[string]*stats.TableStats{},
 		writesSince: map[string]int{},
 	}

@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"aim/internal/catalog"
+	"aim/internal/failpoint"
+)
+
+// arm activates a fault spec for the duration of the test.
+func arm(t *testing.T, spec string) {
+	t.Helper()
+	fp, err := failpoint.Parse(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failpoint.Activate(fp)
+	t.Cleanup(func() { failpoint.Activate(nil) })
+}
+
+// TestCreateIndexesRollsBackOnInjectedFault: when injected faults defeat
+// every per-index retry, the batch must fail wholesale and leave neither
+// schema entries nor materialized trees behind; once the faults clear, the
+// identical batch succeeds from the clean state.
+func TestCreateIndexesRollsBackOnInjectedFault(t *testing.T) {
+	db := newSalesDB(t)
+	defs := []*catalog.Index{
+		{Name: "ix_cust_city", Table: "customers", Columns: []string{"city"}, CreatedBy: "aim"},
+		{Name: "ix_orders_status", Table: "orders", Columns: []string{"status"}, CreatedBy: "aim"},
+	}
+	arm(t, "engine.create_index=err(1)")
+	if _, err := db.CreateIndexes(defs); err == nil {
+		t.Fatal("persistent build faults must fail the batch")
+	} else if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("error lost the injected cause: %v", err)
+	}
+	for _, def := range defs {
+		if db.Schema.Index(def.Name) != nil {
+			t.Errorf("%s leaked into schema", def.Name)
+		}
+		if db.Store.Table(def.Table).Index(def.Name) != nil {
+			t.Errorf("%s leaked into store", def.Name)
+		}
+	}
+	// Faults stop: the same defs build cleanly — nothing half-applied blocks
+	// the retry.
+	failpoint.Activate(nil)
+	if _, err := db.CreateIndexes(defs); err != nil {
+		t.Fatal(err)
+	}
+	for _, def := range defs {
+		tbl := db.Store.Table(def.Table)
+		mat := tbl.Index(def.Name)
+		if mat == nil {
+			t.Fatalf("%s not materialized after retry", def.Name)
+		}
+		if err := mat.Tree().Validate(); err != nil {
+			t.Fatalf("%s tree invalid: %v", def.Name, err)
+		}
+		if mat.Len() != tbl.RowCount() {
+			t.Fatalf("%s has %d entries for %d rows", def.Name, mat.Len(), tbl.RowCount())
+		}
+	}
+}
+
+// TestCreateIndexesRetriesTransientFault: the first two build attempts
+// fail, the retry succeeds — the batch lands without caller involvement.
+func TestCreateIndexesRetriesTransientFault(t *testing.T) {
+	db := newSalesDB(t)
+	arm(t, "engine.create_index=err()@1-2")
+	defs := []*catalog.Index{{Name: "ix_cust_tier", Table: "customers", Columns: []string{"tier"}, CreatedBy: "aim"}}
+	if _, err := db.CreateIndexes(defs); err != nil {
+		t.Fatalf("transient fault not retried: %v", err)
+	}
+	if db.Schema.Index("ix_cust_tier") == nil || db.Store.Table("customers").Index("ix_cust_tier") == nil {
+		t.Fatal("index missing after successful retry")
+	}
+}
+
+// TestDropIndexInjectedFault: a drop fault surfaces the error before any
+// mutation, so the index stays fully intact and a later drop succeeds.
+func TestDropIndexInjectedFault(t *testing.T) {
+	db := newSalesDB(t)
+	defs := []*catalog.Index{{Name: "ix_orders_day", Table: "orders", Columns: []string{"day"}, CreatedBy: "aim"}}
+	if _, err := db.CreateIndexes(defs); err != nil {
+		t.Fatal(err)
+	}
+	arm(t, "engine.drop_index=err(1)")
+	if _, err := db.DropIndex("ix_orders_day"); err == nil {
+		t.Fatal("injected drop fault not surfaced")
+	}
+	mat := db.Store.Table("orders").Index("ix_orders_day")
+	if db.Schema.Index("ix_orders_day") == nil || mat == nil {
+		t.Fatal("failed drop mutated catalog or store")
+	}
+	if mat.Len() != db.Store.Table("orders").RowCount() {
+		t.Fatal("failed drop left a partial index")
+	}
+	failpoint.Activate(nil)
+	if _, err := db.DropIndex("ix_orders_day"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Schema.Index("ix_orders_day") != nil || db.Store.Table("orders").Index("ix_orders_day") != nil {
+		t.Fatal("drop after fault clearance did not land")
+	}
+}

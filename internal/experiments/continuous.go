@@ -118,7 +118,9 @@ func RunContinuous(opts ContinuousOptions) (*ContinuousResult, error) {
 	out.RegressionsFlagged = len(detector.Observe(db, mon2))
 
 	// Periodic AIM run detects the new inefficient queries; the shadow gate
-	// validates before production applies.
+	// validates before production applies. Validation failures degrade to
+	// "no change" — the loop ticks on untuned rather than aborting, exactly
+	// as the production deployment would ride out a MyShadow outage.
 	rec, err := adv.Recommend(mon2)
 	if err != nil {
 		return nil, err
@@ -126,7 +128,7 @@ func RunContinuous(opts ContinuousOptions) (*ContinuousResult, error) {
 	out.NewIndexes = len(rec.Create)
 	report, err := shadow.Validate(db, rec.Create, mon2, shadow.DefaultGate())
 	if err != nil {
-		return nil, err
+		report = &shadow.Report{Degraded: true, Reason: err.Error()}
 	}
 	out.ShadowAccepted = report.Accepted
 	if report.Accepted {

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"aim/internal/failpoint"
+	"aim/internal/obs"
+)
+
+// faultSuiteOptions picks the sweep size: the full 1000-cycle acceptance
+// run when AIM_FAULT_SUITE=1 (the CI "faults" job via `make faultsuite`),
+// a reduced but rate-complete sweep otherwise so the tier-1 `go test`
+// stays fast.
+func faultSuiteOptions(t *testing.T) FaultSuiteOptions {
+	opts := DefaultFaultSuiteOptions()
+	if os.Getenv("AIM_FAULT_SUITE") != "1" {
+		opts.Cycles = 30
+		if testing.Short() {
+			opts.Cycles = 8
+		}
+	}
+	return opts
+}
+
+// TestTuningLoopUnderFaults drives the continuous-tuning loop through the
+// fault-rate sweep and asserts the three hardening invariants: the loop
+// never adopts a non-gated index (checked inside runCycle: Accepted implies
+// not Degraded), never leaks a partially built or half-dropped index into
+// the catalog (checkLoopInvariants after every cycle), and converges to the
+// fault-free recommendation set once the faults stop.
+func TestTuningLoopUnderFaults(t *testing.T) {
+	if failpoint.Enabled() {
+		t.Fatal("failpoints already active; refusing to run the suite on top")
+	}
+	opts := faultSuiteOptions(t)
+	reg := obs.NewRegistry()
+	failpoint.Instrument(reg)
+	defer failpoint.Instrument(nil)
+	opts.Obs = reg
+
+	res, err := RunFaultSuite(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerRate) != len(opts.Rates) {
+		t.Fatalf("got %d rate results, want %d", len(res.PerRate), len(opts.Rates))
+	}
+	for _, rr := range res.PerRate {
+		t.Logf("rate=%.2f faults=%d adoptions=%d apply_failures=%d degraded=%d reverted=%d",
+			rr.Rate, rr.FaultsInjected, rr.Adoptions, rr.ApplyFailures, rr.DegradedValidations, rr.Reverted)
+		if !reflect.DeepEqual(rr.FinalIndexKeys, res.ReferenceKeys) {
+			t.Errorf("rate %g: final index set %v diverged from fault-free reference %v",
+				rr.Rate, rr.FinalIndexKeys, res.ReferenceKeys)
+		}
+	}
+	// The highest rate must actually have injected faults — otherwise the
+	// suite silently tested nothing.
+	last := res.PerRate[len(res.PerRate)-1]
+	if last.FaultsInjected == 0 {
+		t.Fatalf("rate %g injected zero faults; sites are not wired", last.Rate)
+	}
+	if got := reg.Counter("faults.injected").Value(); got == 0 {
+		t.Error("faults.injected counter never incremented")
+	}
+}
+
+// TestFaultSuiteRejectsBadOptions pins the guard against zero-sized sweeps.
+func TestFaultSuiteRejectsBadOptions(t *testing.T) {
+	if _, err := RunFaultSuite(FaultSuiteOptions{}); err == nil {
+		t.Fatal("zero-value options must be rejected")
+	}
+}

@@ -1,0 +1,32 @@
+package failpoint
+
+import (
+	"fmt"
+	"os"
+)
+
+// EnvVar is the environment variable the CLIs consult when the -failpoints
+// flag is empty, so fault schedules can be armed without changing the
+// command line (e.g. in a CI job's environment block).
+const EnvVar = "AIM_FAILPOINTS"
+
+// Setup parses and activates a fault spec for the whole process. The flag
+// value wins; when it is empty the AIM_FAILPOINTS environment variable is
+// consulted; when both are empty nothing is activated and injection stays
+// on its zero-cost disabled path. Returns the activated registry (nil when
+// nothing was armed).
+func Setup(flagSpec string, seed int64) (*Registry, error) {
+	spec := flagSpec
+	if spec == "" {
+		spec = os.Getenv(EnvVar)
+	}
+	if spec == "" {
+		return nil, nil
+	}
+	r, err := Parse(spec, seed)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", EnvVar, err)
+	}
+	Activate(r)
+	return r, nil
+}

@@ -1,0 +1,88 @@
+package failpoint
+
+import (
+	"time"
+)
+
+// Policy is the bounded-retry/exponential-backoff primitive the
+// continuous-tuning path wraps around fallible phases: shadow clone builds,
+// per-index materialization, workload replays and regression reverts. The
+// zero value retries nothing (one attempt, no sleeps).
+type Policy struct {
+	// Attempts is the total number of tries, including the first
+	// (<= 1 means a single attempt).
+	Attempts int
+	// Base is the sleep before the first retry; each subsequent retry
+	// doubles it, capped at Max.
+	Base time.Duration
+	// Max caps the per-retry backoff sleep (0 = uncapped).
+	Max time.Duration
+	// Deadline is the phase's overall wall-clock budget measured from the
+	// first attempt; once exceeded, Do stops retrying even if attempts
+	// remain (0 = no deadline). This is the per-phase deadline of the
+	// hardening policy: a phase that keeps failing must yield control back
+	// to the loop rather than stall a tuning cycle indefinitely.
+	Deadline time.Duration
+}
+
+// DefaultPolicy is the standard hardening policy: three attempts, 1ms base
+// backoff capped at 8ms, 250ms phase deadline. The tuning loop runs on
+// in-memory operations, so retry budgets are small; a real deployment
+// would scale these to its I/O latencies.
+func DefaultPolicy() Policy {
+	return Policy{Attempts: 3, Base: time.Millisecond, Max: 8 * time.Millisecond, Deadline: 250 * time.Millisecond}
+}
+
+// abortError marks an error as non-retryable.
+type abortError struct{ error }
+
+func (a abortError) Unwrap() error { return a.error }
+
+// Abort wraps err so Policy.Do returns it immediately without further
+// attempts — for failures that retrying cannot fix (diverged clones,
+// validation errors).
+func Abort(err error) error {
+	if err == nil {
+		return nil
+	}
+	return abortError{err}
+}
+
+// Do runs fn until it succeeds, returning nil, or until attempts, the
+// deadline, or an Abort-wrapped error stop it, returning the last error.
+// Each retry is recorded in the faults.retries counter (see Instrument).
+func (p Policy) Do(fn func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	start := time.Time{}
+	if p.Deadline > 0 {
+		start = time.Now()
+	}
+	backoff := p.Base
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			CountRetry()
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+				if p.Max > 0 && backoff > p.Max {
+					backoff = p.Max
+				}
+			}
+		}
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		if ae, ok := err.(abortError); ok {
+			return ae.error
+		}
+		if p.Deadline > 0 && time.Since(start) >= p.Deadline {
+			return err
+		}
+	}
+	return err
+}

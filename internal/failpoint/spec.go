@@ -1,0 +1,197 @@
+package failpoint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse builds a registry from a fault spec string, the format accepted by
+// the AIM_FAILPOINTS environment variable and the CLIs' -failpoints flag:
+//
+//	spec    := entry *( ';' entry )
+//	entry   := site '=' action *( '|' action )
+//	action  := 'err'   '(' [prob] ')'          [trigger]
+//	         | 'delay' '(' dur [',' prob] ')'  [trigger]
+//	         | 'panic' '(' [prob] ')'          [trigger]
+//	trigger := '@' N          -- fire only on the Nth evaluation (1-based)
+//	         | '@' N '+'      -- fire on the Nth evaluation and after
+//	         | '@' N '-' M    -- fire on evaluations N through M
+//
+// prob is a firing probability in (0, 1] (default 1); dur is a Go duration
+// ("10ms"). Example:
+//
+//	AIM_FAILPOINTS="shadow.clone=err(0.05);replay.query=delay(10ms,0.1)"
+//
+// Whitespace around entries, sites and actions is ignored. Entries re-arm
+// earlier entries for the same site (last wins).
+func Parse(spec string, seed int64) (*Registry, error) {
+	r := New(seed)
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, actions, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("failpoint: entry %q: want site=action", entry)
+		}
+		name = strings.TrimSpace(name)
+		if !validSiteName(name) {
+			return nil, fmt.Errorf("failpoint: invalid site name %q", name)
+		}
+		if err := r.Set(name, actions); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// validSiteName enforces the "<package>.<operation>" snake-case convention:
+// lower-case letters, digits, underscores and dots only.
+func validSiteName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseActions parses the '|'-separated action list of one entry.
+func parseActions(siteName, spec string) ([]action, error) {
+	var out []action
+	for _, raw := range strings.Split(spec, "|") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			return nil, fmt.Errorf("failpoint: site %s: empty action", siteName)
+		}
+		a, err := parseAction(siteName, raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("failpoint: site %s: no actions", siteName)
+	}
+	return out, nil
+}
+
+func parseAction(siteName, raw string) (action, error) {
+	fail := func(format string, args ...any) (action, error) {
+		return action{}, fmt.Errorf("failpoint: site %s: action %q: %s", siteName, raw, fmt.Sprintf(format, args...))
+	}
+	body, trigger, _ := strings.Cut(raw, "@")
+	body = strings.TrimSpace(body)
+	open := strings.IndexByte(body, '(')
+	if open < 0 || !strings.HasSuffix(body, ")") {
+		return fail("want kind(args)")
+	}
+	kindName := strings.TrimSpace(body[:open])
+	argstr := body[open+1 : len(body)-1]
+	var args []string
+	if strings.TrimSpace(argstr) != "" {
+		for _, a := range strings.Split(argstr, ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+
+	a := action{prob: 1}
+	parseProb := func(s string) error {
+		p, err := strconv.ParseFloat(s, 64)
+		if err != nil || p <= 0 || p > 1 {
+			return fmt.Errorf("probability %q must be in (0, 1]", s)
+		}
+		a.prob = p
+		return nil
+	}
+	switch kindName {
+	case "err":
+		a.kind = kindErr
+		if len(args) > 1 {
+			return fail("err takes at most a probability")
+		}
+		if len(args) == 1 {
+			if err := parseProb(args[0]); err != nil {
+				return fail("%v", err)
+			}
+		}
+		a.err = fmt.Errorf("%w at %s", ErrInjected, siteName)
+	case "delay":
+		a.kind = kindDelay
+		if len(args) == 0 || len(args) > 2 {
+			return fail("delay takes a duration and an optional probability")
+		}
+		d, err := time.ParseDuration(args[0])
+		if err != nil || d < 0 {
+			return fail("bad duration %q", args[0])
+		}
+		a.delay = d
+		if len(args) == 2 {
+			if err := parseProb(args[1]); err != nil {
+				return fail("%v", err)
+			}
+		}
+	case "panic":
+		a.kind = kindPanic
+		if len(args) > 1 {
+			return fail("panic takes at most a probability")
+		}
+		if len(args) == 1 {
+			if err := parseProb(args[0]); err != nil {
+				return fail("%v", err)
+			}
+		}
+	default:
+		return fail("unknown action kind %q", kindName)
+	}
+
+	if trigger != "" {
+		from, to, err := parseTrigger(strings.TrimSpace(trigger))
+		if err != nil {
+			return fail("%v", err)
+		}
+		a.from, a.to = from, to
+	}
+	return a, nil
+}
+
+// parseTrigger parses the hit-count window after '@': "N", "N+" or "N-M".
+func parseTrigger(s string) (from, to int64, err error) {
+	parseHit := func(v string) (int64, error) {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 1 {
+			return 0, fmt.Errorf("hit count %q must be a positive integer", v)
+		}
+		return n, nil
+	}
+	switch {
+	case strings.HasSuffix(s, "+"):
+		from, err = parseHit(strings.TrimSuffix(s, "+"))
+		return from, 0, err
+	case strings.Contains(s, "-"):
+		lo, hi, _ := strings.Cut(s, "-")
+		if from, err = parseHit(lo); err != nil {
+			return 0, 0, err
+		}
+		if to, err = parseHit(hi); err != nil {
+			return 0, 0, err
+		}
+		if to < from {
+			return 0, 0, fmt.Errorf("hit window %q is empty", s)
+		}
+		return from, to, nil
+	default:
+		if from, err = parseHit(s); err != nil {
+			return 0, 0, err
+		}
+		return from, from, nil
+	}
+}

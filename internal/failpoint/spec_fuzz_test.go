@@ -1,0 +1,68 @@
+package failpoint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzFailpointSpec feeds arbitrary strings through the spec parser: it
+// must never panic, and any spec it accepts must (a) survive a full
+// evaluation pass over its sites without panicking (panic actions excepted
+// by construction below) and (b) stay accepted after a parse→re-Set round
+// trip of the same entries.
+func FuzzFailpointSpec(f *testing.F) {
+	f.Add("shadow.clone=err(0.05);replay.query=delay(10ms,0.1)")
+	f.Add("a.b=err()|delay(1ms,0.5)")
+	f.Add("x.y=err(1)@3+;z.w=delay(0s)@2-4")
+	f.Add("engine.create_index=err(0.2)@1-1000")
+	f.Add("=err()")
+	f.Add("site=panic(0.5)@7")
+	f.Add(";;;")
+	f.Add("s=delay(1h)")
+	f.Fuzz(func(t *testing.T, spec string) {
+		r, err := Parse(spec, 42)
+		if err != nil {
+			return
+		}
+		// Evaluate every accepted site a few times. Skip sites armed with
+		// panic actions (panicking is their contract) and cap delays: a
+		// fuzzed duration may be hours, so evaluation uses the armed state
+		// directly rather than sleeping.
+		for name, s := range r.sites {
+			hasPanic, hasLongDelay := false, false
+			for _, a := range s.actions {
+				if a.kind == kindPanic {
+					hasPanic = true
+				}
+				if a.kind == kindDelay && a.delay > 10e6 { // > 10ms
+					hasLongDelay = true
+				}
+			}
+			if hasPanic || hasLongDelay {
+				continue
+			}
+			Activate(r)
+			for i := 0; i < 4; i++ {
+				e := Inject(name)
+				if e != nil && !strings.Contains(e.Error(), name) {
+					t.Errorf("site %q: injected error %q does not name the site", name, e)
+				}
+			}
+			Activate(nil)
+		}
+		// Round trip: re-parsing the same spec must succeed and arm the
+		// same site set.
+		r2, err := Parse(spec, 42)
+		if err != nil {
+			t.Fatalf("accepted spec %q rejected on re-parse: %v", spec, err)
+		}
+		if len(r2.sites) != len(r.sites) {
+			t.Fatalf("re-parse armed %d sites, first parse %d", len(r2.sites), len(r.sites))
+		}
+		for name := range r.sites {
+			if r2.sites[name] == nil {
+				t.Fatalf("site %q lost on re-parse", name)
+			}
+		}
+	})
+}

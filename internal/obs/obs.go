@@ -19,6 +19,10 @@
 //   - Naming convention: "<package>.<metric>" in snake case
 //     (optimizer.whatif_seconds, costcache.entries, pool.queue_depth);
 //     span names are slash-separated phase paths (advisor/rank/gains).
+//     Cross-cutting families may use a domain prefix instead of a package
+//     name: the fault-injection counters are faults.{injected,retries,
+//     degraded} (emitted by internal/failpoint) because they aggregate
+//     events from every instrumented call site, not one package's.
 package obs
 
 import (

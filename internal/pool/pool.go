@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"aim/internal/failpoint"
 	"aim/internal/obs"
 )
 
@@ -62,6 +63,14 @@ func Instrument(r *obs.Registry) {
 // fn must write results only to its own slot i of any shared output; ForEach
 // provides the necessary happens-before edge between the last fn return and
 // ForEach returning.
+//
+// A panicking task no longer kills the process from an anonymous worker
+// goroutine: the remaining items still run (their result slots stay
+// consistent) and the first panic is re-raised on the calling goroutine
+// after the fan-out drains, where the caller's own defer/recover hardening
+// can see it. The "pool.task" failpoint fires before each task; delay and
+// panic actions apply, err actions are ignored (tasks have no error
+// channel — fallible work reports through its own result slot).
 func ForEach(workers, n int, fn func(int)) {
 	if n <= 0 {
 		return
@@ -79,40 +88,47 @@ func ForEach(workers, n int, fn func(int)) {
 		m.fanout.Observe(float64(n))
 		m.queue.Add(int64(n))
 	}
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			if m != nil {
-				m.queue.Add(-1)
-				m.active.Add(1)
-			}
-			fn(i)
+	var panicOnce sync.Once
+	var panicked any
+	run := func(i int) {
+		defer func() {
 			if m != nil {
 				m.active.Add(-1)
 			}
-		}
-		return
-	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
-				}
-				if m != nil {
-					m.queue.Add(-1)
-					m.active.Add(1)
-				}
-				fn(i)
-				if m != nil {
-					m.active.Add(-1)
-				}
+			if p := recover(); p != nil {
+				panicOnce.Do(func() { panicked = p })
 			}
 		}()
+		if m != nil {
+			m.queue.Add(-1)
+			m.active.Add(1)
+		}
+		_ = failpoint.Inject("pool.task")
+		fn(i)
 	}
-	wg.Wait()
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+	} else {
+		var next int64 = -1
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= n {
+						return
+					}
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if panicked != nil {
+		panic(panicked)
+	}
 }

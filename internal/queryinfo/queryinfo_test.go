@@ -8,7 +8,7 @@ import (
 	"aim/internal/sqltypes"
 )
 
-func testSchema(t *testing.T) *catalog.Schema {
+func testSchema(t testing.TB) *catalog.Schema {
 	t.Helper()
 	s := catalog.NewSchema()
 	add := func(name string, cols []string, pk string) {

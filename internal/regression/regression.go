@@ -7,9 +7,11 @@ package regression
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"aim/internal/catalog"
 	"aim/internal/engine"
+	"aim/internal/failpoint"
 	"aim/internal/sqlparser"
 	"aim/internal/workload"
 )
@@ -97,6 +99,16 @@ func (r *Regression) String() string {
 // compared against its last healthy baseline.
 func (d *Detector) Observe(db *engine.DB, mon *workload.Monitor) []*Regression {
 	reg := db.ObsRegistry()
+	// The "regression.observe" failpoint models the off-host detector
+	// missing a window (collector crash, stats pipeline outage). The window
+	// is dropped wholesale: baselines are left untouched, so the next
+	// observed window still compares against the last healthy one — a
+	// missed window delays detection, it never corrupts baselines.
+	if err := failpoint.Inject("regression.observe"); err != nil {
+		reg.Counter("regression.dropped_windows").Inc()
+		failpoint.CountDegraded()
+		return nil
+	}
 	reg.Counter("regression.windows").Inc()
 	var found []*Regression
 	cur := map[string]baseline{}
@@ -149,12 +161,22 @@ func (d *Detector) Observe(db *engine.DB, mon *workload.Monitor) []*Regression {
 	return found
 }
 
+// revertPolicy bounds per-index drop retries during a revert. Reverts are
+// the last line of the no-regression guarantee, so they get a larger retry
+// budget than forward-path operations.
+var revertPolicy = failpoint.Policy{Attempts: 5, Base: time.Millisecond, Max: 16 * time.Millisecond, Deadline: 500 * time.Millisecond}
+
 // Revert drops the suspect automation-created indexes of the given
 // regressions. It returns the dropped index names. Suspects already dropped
 // (by an earlier call or a duplicate regression) are skipped, so Revert is
-// idempotent.
+// idempotent. Failed drops are retried with backoff; an index that still
+// cannot be dropped is surfaced through the regression.revert_failures and
+// faults.degraded counters and left for the next detection window — the
+// regression keeps flagging it, so the revert is re-attempted until it
+// lands.
 func Revert(db *engine.DB, regs []*Regression) []string {
 	var dropped []string
+	failures := 0
 	seen := map[string]bool{}
 	for _, r := range regs {
 		for _, ix := range r.SuspectIndexes {
@@ -162,9 +184,30 @@ func Revert(db *engine.DB, regs []*Regression) []string {
 				continue
 			}
 			seen[ix.Name] = true
-			if _, err := db.DropIndex(ix.Name); err == nil {
-				dropped = append(dropped, ix.Name)
+			if db.Schema.Index(ix.Name) == nil {
+				continue // already gone: reverted earlier or dropped by hand
 			}
+			name := ix.Name
+			err := revertPolicy.Do(func() error {
+				_, err := db.DropIndex(name)
+				if err != nil && db.Schema.Index(name) == nil {
+					// A half-applied earlier attempt (or a concurrent drop)
+					// finished the job; the goal state is reached.
+					return nil
+				}
+				return err
+			})
+			if err != nil {
+				failures++
+				continue
+			}
+			dropped = append(dropped, name)
+		}
+	}
+	if failures > 0 {
+		db.ObsRegistry().Counter("regression.revert_failures").Add(int64(failures))
+		for i := 0; i < failures; i++ {
+			failpoint.CountDegraded()
 		}
 	}
 	if len(dropped) > 0 {

@@ -4,14 +4,23 @@
 // continuous-tuning guarantees of Eq. 2-4 — overall improvement, at least
 // one query improved by λ₂, and no query regressed by more than λ₃ — before
 // anything touches production.
+//
+// Failure semantics: validation is the loop's safety gate, so it must fail
+// *closed*. Clone builds and replays are retried with bounded backoff
+// (failpoint.Policy); when a phase keeps failing — or any query stays
+// unreplayable — the verdict is Degraded: not accepted, nothing applied,
+// production untouched. A fault can delay an adoption, never cause an
+// unvalidated one.
 package shadow
 
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"aim/internal/catalog"
 	"aim/internal/engine"
+	"aim/internal/failpoint"
 	"aim/internal/sqlparser"
 	"aim/internal/sqltypes"
 	"aim/internal/workload"
@@ -38,6 +47,18 @@ func DefaultGate() Gate {
 	return Gate{Lambda1: 0.1, Lambda2: 0.05, Lambda3: 0.25, MaxReplays: 3}
 }
 
+// Retry policies for the two fallible phases. Package variables so the
+// fault tests can tighten them; production code treats them as constants.
+var (
+	// clonePolicy guards clone-pair construction (clone + candidate
+	// materialization), retried as a unit: a half-built pair is discarded,
+	// never patched.
+	clonePolicy = failpoint.DefaultPolicy()
+	// replayPolicy guards one query's replay. Divergence aborts the retry
+	// loop immediately (the clones must be rebuilt, retrying cannot help).
+	replayPolicy = failpoint.Policy{Attempts: 2, Base: 500 * time.Microsecond, Max: 2 * time.Millisecond, Deadline: 100 * time.Millisecond}
+)
+
 // QueryOutcome is the before/after comparison for one normalized query.
 type QueryOutcome struct {
 	Normalized string
@@ -59,14 +80,25 @@ func (o *QueryOutcome) Change() float64 {
 
 // Report is the verdict of one validation run.
 type Report struct {
-	Accepted  bool
-	Reason    string
+	Accepted bool
+	Reason   string
+	// Degraded marks a verdict produced under failure rather than by the
+	// gate: the clone environment could not be built, one or more queries
+	// stayed unreplayable after retries, or the validation panicked. A
+	// degraded verdict is never Accepted — the loop's answer to a fault is
+	// "no change", not an unvalidated adoption.
+	Degraded  bool
 	Outcomes  []QueryOutcome
 	TotalGain float64 // weighted CPU seconds saved per window
 	// Divergent lists normalized queries whose DML replay succeeded on one
 	// clone but failed on the other. Their comparison was aborted and the
 	// clones rebuilt; the gate verdict excludes them.
 	Divergent []string
+	// ReplayErrors lists normalized queries that could not be replayed at
+	// all after retries (clone errors, unbindable samples). Any entry here
+	// degrades the verdict: a gate decided on partial evidence could let a
+	// regression through on exactly the queries it failed to see.
+	ReplayErrors []string
 	// AcceptedIndexes are the indexes that survive validation (currently
 	// all-or-nothing, like the paper's per-database gate).
 	AcceptedIndexes []*catalog.Index
@@ -79,7 +111,10 @@ var errDiverged = errors.New("shadow: clones diverged on one-sided DML error")
 
 // Validate clones the database, materializes the candidate indexes on the
 // clone, replays the workload on both configurations, and applies the gate.
-func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor, gate Gate) (*Report, error) {
+// Runtime failures (clone build dying, replays erroring, panics below the
+// validator) produce a Degraded non-accepting report, not an error: the
+// returned error is reserved for misuse by the caller.
+func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor, gate Gate) (rep *Report, err error) {
 	reg := db.ObsRegistry()
 	reg.Counter("shadow.validations").Inc()
 	verdict := func(rep *Report) (*Report, error) {
@@ -88,8 +123,24 @@ func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor,
 		} else {
 			reg.Counter("shadow.rejected").Inc()
 		}
+		if rep.Degraded {
+			reg.Counter("shadow.degraded").Inc()
+			failpoint.CountDegraded()
+		}
 		return rep, nil
 	}
+	// Everything below runs on clones; production state is untouched until
+	// the caller applies an accepted recommendation. A panic mid-validation
+	// (e.g. an injected panic action in a clone build) therefore degrades
+	// to "no change" instead of taking the tuning loop down.
+	defer func() {
+		if p := recover(); p != nil {
+			rep, err = verdict(&Report{
+				Degraded: true,
+				Reason:   fmt.Sprintf("validation panicked: %v", p),
+			})
+		}
+	}()
 	if len(candidates) == 0 {
 		return verdict(&Report{Accepted: false, Reason: "no candidate indexes"})
 	}
@@ -98,47 +149,82 @@ func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor,
 	// candidates materialized on the test side in one batch (the per-index
 	// builds fan out over the storage worker pool). Rebuilding restores
 	// comparability after a divergence (the engine has no transactions to
-	// roll back a half-applied replay). Clone and build both ride the bulk
-	// tree-construction path, keeping divergence recovery linear in data
-	// size rather than O(n log n) per tree.
+	// roll back a half-applied replay). The whole pair is built or none of
+	// it: a clone or materialization failure discards both sides, and
+	// clonePolicy retries from scratch with backoff.
 	makeClones := func() (*engine.DB, *engine.DB, error) {
+		var baseline, test *engine.DB
+		err := clonePolicy.Do(func() error {
+			baseline, test = nil, nil
+			if err := failpoint.Inject("shadow.clone"); err != nil {
+				return err
+			}
+			var err error
+			if baseline, err = db.CloneChecked("shadow-baseline"); err != nil {
+				return err
+			}
+			if test, err = db.CloneChecked("shadow-test"); err != nil {
+				return err
+			}
+			defs := make([]*catalog.Index, len(candidates))
+			for i, ix := range candidates {
+				def := *ix
+				def.Columns = append([]string(nil), ix.Columns...)
+				def.Hypothetical = false
+				defs[i] = &def
+			}
+			if _, err := test.CreateIndexes(defs); err != nil {
+				return fmt.Errorf("shadow: materializing candidates: %v", err)
+			}
+			test.Analyze()
+			return nil
+		})
+		if err != nil {
+			reg.Counter("shadow.clone_failures").Inc()
+			return nil, nil, err
+		}
 		reg.Counter("shadow.clone_pairs").Inc()
-		baseline := db.Clone("shadow-baseline")
-		test := db.Clone("shadow-test")
-		defs := make([]*catalog.Index, len(candidates))
-		for i, ix := range candidates {
-			def := *ix
-			def.Columns = append([]string(nil), ix.Columns...)
-			def.Hypothetical = false
-			defs[i] = &def
-		}
-		if _, err := test.CreateIndexes(defs); err != nil {
-			return nil, nil, fmt.Errorf("shadow: materializing candidates: %v", err)
-		}
-		test.Analyze()
 		return baseline, test, nil
 	}
 	baseline, test, err := makeClones()
 	if err != nil {
-		return nil, err
+		return verdict(&Report{
+			Degraded: true,
+			Reason:   fmt.Sprintf("clone environment unavailable: %v", err),
+		})
 	}
 
-	rep := &Report{}
+	rep = &Report{}
 	improvedOne := false
 	var totalBefore, totalAfter float64
 	for _, q := range mon.Queries() {
-		before, after, replays, err := replayQuery(baseline, test, q, gate.MaxReplays)
-		reg.Counter("shadow.replays").Add(int64(replays))
-		if err != nil {
-			if errors.Is(err, errDiverged) {
+		var before, after float64
+		var replays int
+		rerr := replayPolicy.Do(func() error {
+			var e error
+			before, after, replays, e = replayQuery(baseline, test, q, gate.MaxReplays)
+			reg.Counter("shadow.replays").Add(int64(replays))
+			if errors.Is(e, errDiverged) {
+				return failpoint.Abort(e)
+			}
+			return e
+		})
+		if rerr != nil {
+			if errors.Is(rerr, errDiverged) {
 				rep.Divergent = append(rep.Divergent, q.Normalized)
 				reg.Counter("shadow.divergent").Inc()
 				if baseline, test, err = makeClones(); err != nil {
-					return nil, err
+					rep.Degraded = true
+					rep.Reason = fmt.Sprintf("clone rebuild after divergence failed: %v", err)
+					return verdict(rep)
 				}
+				continue
 			}
-			// Queries that cannot be replayed (e.g. dropped tables) are
-			// skipped rather than failing the whole validation.
+			// A query that stays unreplayable after retries degrades the
+			// verdict below: the gate must not pass on evidence that is
+			// silently missing exactly this query.
+			rep.ReplayErrors = append(rep.ReplayErrors, q.Normalized)
+			reg.Counter("shadow.replay_errors").Inc()
 			continue
 		}
 		out := QueryOutcome{
@@ -158,6 +244,16 @@ func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor,
 		}
 	}
 	rep.TotalGain = totalBefore - totalAfter
+
+	// Fail closed on partial evidence: any unreplayable query (or an empty
+	// comparison with a non-empty workload) yields a Degraded rejection
+	// before the gate equations run.
+	if len(rep.ReplayErrors) > 0 || (len(rep.Outcomes) == 0 && mon.Len() > 0) {
+		rep.Degraded = true
+		rep.Reason = fmt.Sprintf("validation degraded: %d of %d queries unreplayable",
+			len(rep.ReplayErrors), mon.Len())
+		return verdict(rep)
+	}
 
 	// Eq. 4: no individual regression beyond λ₃.
 	for _, out := range rep.Outcomes {
@@ -187,8 +283,13 @@ func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor,
 // and returns average CPU seconds per execution for each, plus the number of
 // samples replayed. A one-sided DML failure returns errDiverged: the write
 // landed on one clone only, so the pair is no longer comparable and the
-// caller must rebuild both clones.
+// caller must rebuild both clones. The "replay.query" failpoint fires before
+// any sample executes, so an injected replay failure is retryable without
+// re-applying DML.
 func replayQuery(baseline, test *engine.DB, q *workload.QueryStats, maxReplays int) (before, after float64, replays int, err error) {
+	if err := failpoint.Inject("replay.query"); err != nil {
+		return 0, 0, 0, err
+	}
 	params := q.SampleParams
 	if len(params) == 0 {
 		params = [][]sqltypes.Value{nil}

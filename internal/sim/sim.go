@@ -14,6 +14,7 @@ import (
 
 	"aim/internal/catalog"
 	"aim/internal/engine"
+	"aim/internal/failpoint"
 	"aim/internal/workload"
 )
 
@@ -88,11 +89,18 @@ func (m *Machine) BuildIndex(def *catalog.Index) (string, error) {
 	return m.BuildIndexes([]*catalog.Index{def})
 }
 
+// buildPolicy retries a between-tick index build that failed wholesale
+// (CreateIndexes already retries per-index builds and rolls the batch back
+// all-or-nothing, so every attempt here starts from a clean catalog).
+var buildPolicy = failpoint.DefaultPolicy()
+
 // BuildIndexes materializes several indexes between ticks in one batch,
 // letting the engine fan the per-index bulk builds out over the storage
 // worker pool — the batched analogue of the paper's "indexes created
 // incrementally with sleeps in between" protocol when a recommendation
-// lands more than one index at once.
+// lands more than one index at once. A build that keeps failing after
+// retries returns the error with the catalog unchanged; the simulation can
+// carry on ticking and re-attempt on a later cycle.
 func (m *Machine) BuildIndexes(defs []*catalog.Index) (string, error) {
 	copies := make([]*catalog.Index, len(defs))
 	names := make([]string, len(defs))
@@ -103,7 +111,11 @@ func (m *Machine) BuildIndexes(defs []*catalog.Index) (string, error) {
 		copies[i] = &d
 		names[i] = d.Name
 	}
-	if _, err := m.DB.CreateIndexes(copies); err != nil {
+	err := buildPolicy.Do(func() error {
+		_, err := m.DB.CreateIndexes(copies)
+		return err
+	})
+	if err != nil {
 		return "", err
 	}
 	m.DB.Analyze()

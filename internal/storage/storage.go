@@ -17,6 +17,7 @@ import (
 
 	"aim/internal/btree"
 	"aim/internal/catalog"
+	"aim/internal/failpoint"
 	"aim/internal/obs"
 	"aim/internal/pool"
 	"aim/internal/sqltypes"
@@ -501,6 +502,17 @@ func (s *Store) TotalIndexBytes() int64 {
 		}
 	}
 	return n
+}
+
+// CloneChecked is Clone behind the "storage.clone" failpoint: the fault
+// harness arms it to make clone builds die mid-flight, and hardened callers
+// (shadow validation, the engine's CloneChecked) retry or degrade. Plain
+// Clone stays infallible for callers with no failure path.
+func (s *Store) CloneChecked() (*Store, error) {
+	if err := failpoint.Inject("storage.clone"); err != nil {
+		return nil, err
+	}
+	return s.Clone(), nil
 }
 
 // Clone produces a deep logical copy of the store: rows and key bytes are
