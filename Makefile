@@ -8,10 +8,10 @@ FUZZTIME ?= 30s
 # counting noise while still catching real coverage regressions.
 COVER_BASELINE ?= 76.0
 
-.PHONY: check vet build test race benchsmoke metricssmoke benchstorage benchstoragesmoke bench fuzzsmoke faultsuite cover clean
+.PHONY: check vet build test race benchsmoke metricssmoke telemetrysmoke benchstorage benchstoragesmoke bench fuzzsmoke faultsuite cover clean
 
 # check is the tier-1 gate: everything here must pass before a change lands.
-check: vet build race benchsmoke metricssmoke benchstoragesmoke
+check: vet build race benchsmoke metricssmoke telemetrysmoke benchstoragesmoke
 
 vet:
 	$(GO) vet ./...
@@ -31,12 +31,20 @@ race:
 benchsmoke:
 	$(GO) test -run '^$$' -bench BenchmarkAdvisor -benchtime 1x .
 
-# Observability + failpoint overhead gate: a fully instrumented advisor run
-# must stay within 5% of an uninstrumented one, and an advisor run with
-# failpoints armed-but-unmatched within 1% of one with injection off.
-# Wall-clock sensitive, so both are env-gated out of plain `go test ./...`.
+# Observability + failpoint + audit overhead gate: a fully instrumented
+# advisor run must stay within 5% of an uninstrumented one, an advisor run
+# with failpoints armed-but-unmatched within 1% of one with injection off,
+# and a run with the audit journal attached plus a live /metricsz scraper
+# within 5% of a bare run. Wall-clock sensitive, so all three are env-gated
+# out of plain `go test ./...`.
 metricssmoke:
-	AIM_METRICS_SMOKE=1 $(GO) test -run 'TestMetricsOverheadSmoke|TestFailpointOverheadSmoke' ./internal/core/
+	AIM_METRICS_SMOKE=1 $(GO) test -run 'TestMetricsOverheadSmoke|TestFailpointOverheadSmoke|TestAuditOverheadSmoke' ./internal/core/
+
+# Telemetry server smoke: boots a real loopback server and validates
+# /metricsz (exposition format), /statusz (JSON sections), /healthz and
+# /debug/pprof over actual TCP. Env-gated because it binds a socket.
+telemetrysmoke:
+	AIM_TELEMETRY_SMOKE=1 $(GO) test -run TestTelemetrySmoke -v ./internal/telemetry/
 
 # Short budgeted runs of every native fuzz target: the bulk-load/merge/DNF
 # equivalence properties and the failpoint spec parser. Go allows one -fuzz

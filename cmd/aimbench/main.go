@@ -26,6 +26,7 @@ import (
 	"sort"
 	"text/tabwriter"
 
+	"aim/internal/audit"
 	"aim/internal/experiments"
 	"aim/internal/failpoint"
 	"aim/internal/obs"
@@ -38,6 +39,10 @@ import (
 // thread it into every experiment's options.
 var obsReg *obs.Registry
 
+// contAuditOut/contTelemetryAddr carry -audit-out and -telemetry-addr into
+// the continuous experiment (the only one with a decision loop to observe).
+var contAuditOut, contTelemetryAddr string
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: table2|fig3|fig4|fig5|fig6|continuous|all")
 	bench := flag.String("bench", "tpch", "benchmark for fig4: tpch|job")
@@ -48,7 +53,10 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write advisor spans as JSON lines to this file")
 	failpoints := flag.String("failpoints", "", `fault spec, e.g. "shadow.clone=err(0.05)" (or env `+failpoint.EnvVar+")")
 	fpSeed := flag.Int64("failpoint-seed", 1, "seed for failpoint firing schedules")
+	auditOut := flag.String("audit-out", "", "write the continuous experiment's decision journal (JSON lines) to this file")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metricsz /statusz /healthz /debug/pprof on this address during the continuous experiment")
 	flag.Parse()
+	contAuditOut, contTelemetryAddr = *auditOut, *telemetryAddr
 
 	if _, err := failpoint.Setup(*failpoints, *fpSeed); err != nil {
 		fmt.Fprintf(os.Stderr, "aimbench: %v\n", err)
@@ -62,7 +70,9 @@ func main() {
 		runtime.GOMAXPROCS(*workers)
 	}
 
-	if *metrics || *traceOut != "" {
+	// -telemetry-addr implies a registry: an attached scraper expects
+	// /metricsz to carry the run's counters, not an empty exposition.
+	if *metrics || *traceOut != "" || *telemetryAddr != "" {
 		obsReg = obs.NewRegistry()
 		pool.Instrument(obsReg)
 		storage.Instrument(obsReg)
@@ -282,6 +292,24 @@ func runContinuous(fast bool) error {
 		opts.Rows = 2000
 		opts.WindowStatements = 150
 	}
+	if contAuditOut != "" {
+		jrn, err := audit.Create(contAuditOut)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := jrn.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "aimbench: audit journal: %v\n", err)
+			}
+		}()
+		opts.Audit = jrn
+	}
+	if contTelemetryAddr != "" {
+		opts.TelemetryAddr = contTelemetryAddr
+		opts.OnTelemetryStart = func(addr string) {
+			fmt.Printf("telemetry on http://%s (/metricsz /statusz /healthz /debug/pprof)\n", addr)
+		}
+	}
 	res, err := experiments.RunContinuous(opts)
 	if err != nil {
 		return err
@@ -291,6 +319,8 @@ func runContinuous(fast bool) error {
 	fmt.Printf("new indexes: %d (shadow gate accepted: %v)\n", res.NewIndexes, res.ShadowAccepted)
 	fmt.Printf("improved queries: %d (≥10x: %d); CPU saving: %.1f%%\n",
 		res.ImprovedQueries, res.OrderOfMagnitude, res.CPUSavingFraction*100)
+	fmt.Printf("data surge: %d regressions flagged, %d automation indexes reverted\n",
+		res.Phase4Regressions, res.RevertedIndexes)
 	return nil
 }
 

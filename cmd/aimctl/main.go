@@ -15,6 +15,12 @@
 //	aimctl -demo                       # built-in demo script
 //	aimctl -demo -metrics              # + metrics registry dump after the run
 //	aimctl -demo -trace-out spans.json # + advisor spans as JSON lines
+//	aimctl -demo -audit-out aim.jsonl  # + decision journal (one JSON line per decision)
+//	aimctl -demo -telemetry-addr :8080 # + /metricsz /statusz /healthz /debug/pprof
+//
+//	aimctl explain orders.aim_orders_1a2b3c4d -journal aim.jsonl [-trace spans.json]
+//	    reconstruct why an index was created (or a candidate rejected) from
+//	    the decision journal; -trace annotates each step with its span name.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 
+	"aim/internal/audit"
 	"aim/internal/core"
 	"aim/internal/engine"
 	"aim/internal/failpoint"
@@ -31,6 +38,7 @@ import (
 	"aim/internal/pool"
 	"aim/internal/shadow"
 	"aim/internal/storage"
+	"aim/internal/telemetry"
 	"aim/internal/workload"
 )
 
@@ -47,6 +55,10 @@ UPDATE orders SET status = 'done' WHERE id = 42;
 `
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		runExplain(os.Args[2:])
+		return
+	}
 	script := flag.String("script", "", "SQL script file (schema + data, then -- workload section)")
 	demo := flag.Bool("demo", false, "run the built-in demo")
 	j := flag.Int("j", 2, "join parameter")
@@ -58,6 +70,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write advisor spans as JSON lines to this file")
 	failpoints := flag.String("failpoints", "", `fault spec, e.g. "shadow.clone=err(0.05)" (or env `+failpoint.EnvVar+")")
 	fpSeed := flag.Int64("failpoint-seed", 1, "seed for failpoint firing schedules")
+	auditOut := flag.String("audit-out", "", "write the decision journal (JSON lines) to this file")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metricsz /statusz /healthz /debug/pprof on this address for the run")
 	flag.Parse()
 
 	if _, err := failpoint.Setup(*failpoints, *fpSeed); err != nil {
@@ -65,7 +79,9 @@ func main() {
 	}
 
 	var reg *obs.Registry
-	if *metrics || *traceOut != "" {
+	// -telemetry-addr implies a registry: an attached scraper expects
+	// /metricsz to carry the run's counters, not an empty exposition.
+	if *metrics || *traceOut != "" || *telemetryAddr != "" {
 		reg = obs.NewRegistry()
 		pool.Instrument(reg)
 		storage.Instrument(reg)
@@ -104,6 +120,29 @@ func main() {
 	db := engine.New("aimctl")
 	if reg != nil {
 		db.SetObs(reg)
+	}
+	var jrn *audit.Journal
+	if *auditOut != "" {
+		var err error
+		if jrn, err = audit.Create(*auditOut); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := jrn.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "aimctl: audit journal: %v\n", err)
+			}
+		}()
+		db.SetAudit(jrn)
+	}
+	var tel *telemetry.Server
+	if *telemetryAddr != "" {
+		tel = telemetry.New(telemetry.Options{Registry: reg, DB: db, Audit: jrn})
+		addr, err := tel.Start(*telemetryAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer tel.Close()
+		fmt.Printf("telemetry on http://%s (/metricsz /statusz /healthz /debug/pprof)\n", addr)
 	}
 	mon := workload.NewMonitor()
 	if err := runScript(db, mon, text, *demo); err != nil {
@@ -152,7 +191,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("\nshadow validation: %s (gain %.4fs cpu/window)\n", report.Reason, report.TotalGain)
+		if tel != nil {
+			tel.SetShadowReport(report)
+		}
+		fmt.Printf("\nshadow validation: %s [%s] (gain %.4fs cpu/window)\n", report.Verdict(), report.Code, report.TotalGain)
+		fmt.Printf("  %s\n", report.Reason)
 		for _, o := range report.Outcomes {
 			fmt.Printf("  %+6.1f%%  %s\n", o.Change()*100, o.Normalized)
 		}
@@ -167,6 +210,55 @@ func main() {
 		}
 		fmt.Printf("\napplied: %s\n", strings.Join(created, ", "))
 	}
+}
+
+// runExplain implements `aimctl explain <ref>`: it reads a decision journal
+// (written by -audit-out) and renders the full why-lineage of one index —
+// the candidate it came from, its ranking and knapsack verdict under the
+// budget, the shadow-gate verdict, the adoption and any regression revert.
+// With -trace, each step is annotated with the obs span that produced it.
+func runExplain(args []string) {
+	fs := flag.NewFlagSet("aimctl explain", flag.ExitOnError)
+	journal := fs.String("journal", "", "decision journal file (written with -audit-out)")
+	trace := fs.String("trace", "", "span trace file (written with -trace-out) for phase annotations")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: aimctl explain <table.index | index | table(col,...)> -journal aim.jsonl [-trace spans.json]")
+		fs.PrintDefaults()
+	}
+	// Accept the reference before or after the flags.
+	var ref string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		ref, args = args[0], args[1:]
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if ref == "" && fs.NArg() > 0 {
+		ref = fs.Arg(0)
+	}
+	if ref == "" || *journal == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	recs, err := audit.ReadFile(*journal)
+	if err != nil {
+		fatal(err)
+	}
+	var spans map[uint64]audit.SpanInfo
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		spans, err = audit.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	lineage, err := audit.Explain(recs, ref)
+	if err != nil {
+		fatal(err)
+	}
+	lineage.Render(os.Stdout, spans)
 }
 
 // runScript executes the load section and replays the workload section.

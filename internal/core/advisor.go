@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"aim/internal/audit"
 	"aim/internal/catalog"
 	"aim/internal/costcache"
 	"aim/internal/engine"
@@ -194,6 +195,24 @@ func (a *Advisor) RecommendQueries(rep []*workload.QueryStats) (*Recommendation,
 		cands = append(cands, c)
 	}
 
+	// Candidate records land in the journal before ranking: even a candidate
+	// that ranks to nothing is explainable afterwards. Like metrics, the
+	// journal records decisions, it never influences them; nil is off.
+	jrn := a.DB.AuditJournal()
+	if jrn != nil {
+		for _, c := range cands {
+			jrn.Append(&audit.Record{
+				Event:        audit.EventCandidate,
+				SpanID:       genSpan.ID(),
+				IndexKey:     c.Index.Key(),
+				Index:        c.Index.Name,
+				Table:        c.Index.Table,
+				PartialOrder: c.PO.String(),
+				Sources:      sourceQueries(c.PO),
+			})
+		}
+	}
+
 	rankSpan := root.Child("rank")
 	if err := a.rankCandidates(cands, rep, rankSpan); err != nil {
 		rankSpan.End()
@@ -202,8 +221,27 @@ func (a *Advisor) RecommendQueries(rep []*workload.QueryStats) (*Recommendation,
 	rankSpan.End()
 
 	knapSpan := root.Child("knapsack")
-	picked := a.knapsackSelect(cands, a.Cfg.BudgetBytes)
+	picked, decisions := a.knapsackSelect(cands, a.Cfg.BudgetBytes)
 	knapSpan.End()
+	if jrn != nil {
+		for _, d := range decisions {
+			sel := d.selected
+			jrn.Append(&audit.Record{
+				Event:           audit.EventRank,
+				SpanID:          knapSpan.ID(),
+				IndexKey:        d.cand.Index.Key(),
+				Index:           d.cand.Index.Name,
+				Table:           d.cand.Index.Table,
+				GainCPU:         d.cand.Gain,
+				MaintenanceCPU:  d.cand.Maintenance,
+				SizeBytes:       d.cand.SizeBytes,
+				Selected:        &sel,
+				Decision:        d.decision,
+				BudgetBytes:     a.Cfg.BudgetBytes,
+				BudgetUsedBytes: d.usedBytes,
+			})
+		}
+	}
 
 	rec := &Recommendation{
 		Candidates:     cands,
@@ -236,6 +274,21 @@ func (a *Advisor) RecommendQueries(rep []*workload.QueryStats) (*Recommendation,
 	reg.Counter("core.candidates").Add(int64(rec.CandidateCount))
 	reg.Counter("core.selected").Add(int64(len(rec.Create)))
 	return rec, nil
+}
+
+// sourceQueries lists the distinct normalized queries a partial order was
+// generated from, sorted for deterministic journal bytes.
+func sourceQueries(po *PartialOrder) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range po.Sources {
+		if !seen[s.Normalized] {
+			seen[s.Normalized] = true
+			out = append(out, s.Normalized)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // findUnusedIndexes returns existing secondary indexes that no workload
@@ -341,6 +394,9 @@ func (a *Advisor) findUnusedIndexes(rep []*workload.QueryStats) ([]*catalog.Inde
 // a faulting Apply leaves the catalog exactly as it found it rather than
 // adopting a prefix of the recommendation.
 func (a *Advisor) Apply(rec *Recommendation) ([]string, error) {
+	span := a.DB.ObsRegistry().StartSpan("advisor/apply")
+	defer span.End()
+	jrn := a.DB.AuditJournal()
 	var created []string
 	if len(rec.Create) > 0 {
 		defs := make([]*catalog.Index, len(rec.Create))
@@ -355,6 +411,15 @@ func (a *Advisor) Apply(rec *Recommendation) ([]string, error) {
 		}
 		for _, def := range defs {
 			created = append(created, def.Name)
+			if jrn != nil {
+				jrn.Append(&audit.Record{
+					Event:    audit.EventAdopt,
+					SpanID:   span.ID(),
+					IndexKey: def.Key(),
+					Index:    def.Name,
+					Table:    def.Table,
+				})
+			}
 		}
 	}
 	for _, ix := range rec.Drop {

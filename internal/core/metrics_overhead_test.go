@@ -1,13 +1,17 @@
 package core
 
 import (
+	"io"
+	"net/http"
 	"os"
 	"testing"
 	"time"
 
+	"aim/internal/audit"
 	"aim/internal/failpoint"
 	"aim/internal/obs"
 	"aim/internal/pool"
+	"aim/internal/telemetry"
 	"aim/internal/workload"
 )
 
@@ -164,5 +168,103 @@ func TestFailpointOverheadSmoke(t *testing.T) {
 	if bestOn > limit {
 		t.Errorf("failpoint-armed run %v exceeds %v (off %v + 1%% + 10ms slack)",
 			bestOn, limit, bestOff)
+	}
+}
+
+// TestAuditOverheadSmoke extends the overhead gate to the decision journal
+// and live telemetry: an advisor run with metrics, an attached audit journal
+// AND a telemetry server being scraped concurrently must stay within 5% of
+// a bare run, plus absolute slack. Journaling writes a handful of JSON
+// lines per run and scraping reads the registry from another goroutine, so
+// neither may show up in advisor wall-clock. Env-gated like its siblings.
+func TestAuditOverheadSmoke(t *testing.T) {
+	if os.Getenv("AIM_METRICS_SMOKE") == "" {
+		t.Skip("set AIM_METRICS_SMOKE=1 to run (invoked by make metricssmoke)")
+	}
+
+	setup := func(instrumented bool) (*Advisor, *workload.Monitor, *obs.Registry) {
+		db, queries := ecommerceGoldenDB(t)
+		var reg *obs.Registry
+		if instrumented {
+			reg = obs.NewRegistry()
+			db.SetObs(reg)
+			db.SetAudit(audit.New(io.Discard))
+		}
+		cfg := DefaultConfig()
+		cfg.Selection.MinExecutions = 1
+		cfg.Selection.MinBenefit = 0
+		adv := NewAdvisor(db, cfg)
+		mon := workload.NewMonitor()
+		for _, q := range queries {
+			res, err := db.Exec(q)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			for i := 0; i < 3; i++ {
+				if err := mon.Record(q, res.Stats); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return adv, mon, reg
+	}
+
+	advPlain, monPlain, _ := setup(false)
+	advFull, monFull, reg := setup(true)
+
+	// A live scraper polling the exposition while the instrumented advisor
+	// runs, mimicking a Prometheus agent hitting /metricsz.
+	srv := telemetry.New(telemetry.Options{Registry: reg})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get("http://" + addr + "/metricsz")
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain only
+			resp.Body.Close()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	timeRun := func(adv *Advisor, mon *workload.Monitor) time.Duration {
+		start := time.Now()
+		if _, err := adv.Recommend(mon); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	timeRun(advPlain, monPlain)
+	timeRun(advFull, monFull)
+
+	const rounds = 5
+	bestPlain, bestFull := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < rounds; i++ {
+		if d := timeRun(advPlain, monPlain); d < bestPlain {
+			bestPlain = d
+		}
+		if d := timeRun(advFull, monFull); d < bestFull {
+			bestFull = d
+		}
+	}
+
+	limit := bestPlain + bestPlain/20 + 20*time.Millisecond
+	t.Logf("plain=%v metrics+audit+scrape=%v limit=%v", bestPlain, bestFull, limit)
+	if bestFull > limit {
+		t.Errorf("journaled+scraped run %v exceeds %v (plain %v + 5%% + 20ms slack)",
+			bestFull, limit, bestPlain)
 	}
 }

@@ -218,12 +218,24 @@ func boundDML(q *workload.QueryStats) sqlparser.Statement {
 	return q.Stmt
 }
 
+// knapDecision is the audit-journal view of one knapsack verdict: why a
+// candidate was kept or cut, and how much budget was consumed when the
+// decision fell. Decisions are emitted in evaluation (utility-per-byte)
+// order so the budget column reads as a running total.
+type knapDecision struct {
+	cand      *Candidate
+	selected  bool
+	decision  string // selected|nonpositive_utility|duplicate_existing|over_budget|prefix_redundant
+	usedBytes int64
+}
+
 // knapsackSelect implements §III-F's budgeted selection: candidates are
 // taken in decreasing utility-per-byte order while the storage budget
 // allows, skipping non-positive utilities and exact duplicates of existing
 // indexes. Afterwards, selected candidates that are strict prefixes of
-// other selected candidates are dropped as redundant.
-func (a *Advisor) knapsackSelect(cands []*Candidate, budget int64) []*Candidate {
+// other selected candidates are dropped as redundant. The second return
+// value records every verdict for the decision journal.
+func (a *Advisor) knapsackSelect(cands []*Candidate, budget int64) ([]*Candidate, []knapDecision) {
 	sorted := append([]*Candidate(nil), cands...)
 	if a.Cfg.RankByUtilityOnly {
 		sort.SliceStable(sorted, func(i, j int) bool {
@@ -235,21 +247,34 @@ func (a *Advisor) knapsackSelect(cands []*Candidate, budget int64) []*Candidate 
 		})
 	}
 	var picked []*Candidate
+	decisions := make([]knapDecision, 0, len(sorted))
 	var used int64
 	for _, c := range sorted {
-		if c.Utility() <= 0 {
-			continue
+		switch {
+		case c.Utility() <= 0:
+			decisions = append(decisions, knapDecision{c, false, "nonpositive_utility", used})
+		case a.DB.Schema.FindIndexByColumns(c.Index.Table, c.Index.Columns) != nil:
+			decisions = append(decisions, knapDecision{c, false, "duplicate_existing", used})
+		case budget > 0 && used+c.SizeBytes > budget:
+			decisions = append(decisions, knapDecision{c, false, "over_budget", used})
+		default:
+			picked = append(picked, c)
+			used += c.SizeBytes
+			decisions = append(decisions, knapDecision{c, true, "selected", used})
 		}
-		if a.DB.Schema.FindIndexByColumns(c.Index.Table, c.Index.Columns) != nil {
-			continue
-		}
-		if budget > 0 && used+c.SizeBytes > budget {
-			continue
-		}
-		picked = append(picked, c)
-		used += c.SizeBytes
 	}
-	return dropPrefixRedundant(picked)
+	final := dropPrefixRedundant(picked)
+	kept := make(map[*Candidate]bool, len(final))
+	for _, c := range final {
+		kept[c] = true
+	}
+	for i := range decisions {
+		if decisions[i].selected && !kept[decisions[i].cand] {
+			decisions[i].selected = false
+			decisions[i].decision = "prefix_redundant"
+		}
+	}
+	return final, decisions
 }
 
 // dropPrefixRedundant removes selected candidates whose key columns are a

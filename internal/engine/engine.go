@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"aim/internal/audit"
 	"aim/internal/catalog"
 	"aim/internal/costcache"
 	"aim/internal/exec"
@@ -45,6 +46,11 @@ type DB struct {
 	// what-if cache and the executor, and Clone propagates it so shadow
 	// clones aggregate into the same registry as production.
 	obs *obs.Registry
+	// audit is the attached decision journal (nil = journaling off). Unlike
+	// obs it is NOT propagated to clones: decisions are made against the
+	// production handle, and a shadow clone writing duplicate records would
+	// corrupt the lineage.
+	audit *audit.Journal
 }
 
 // SetObs attaches a metrics registry to this database and its components
@@ -61,6 +67,16 @@ func (db *DB) SetObs(r *obs.Registry) {
 // off. Components that only hold a *DB (the advisor, the shadow validator)
 // reach the registry through this.
 func (db *DB) ObsRegistry() *obs.Registry { return db.obs }
+
+// SetAudit attaches a decision journal to this database. Pass nil to detach.
+// Clones never inherit it (see the field comment). Call before concurrent
+// use.
+func (db *DB) SetAudit(j *audit.Journal) { db.audit = j }
+
+// AuditJournal returns the attached journal, or nil when journaling is off.
+// The advisor, the shadow validator and the regression detector reach the
+// journal through this; all of them tolerate nil.
+func (db *DB) AuditJournal() *audit.Journal { return db.audit }
 
 // New creates an empty database.
 func New(name string) *DB {

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math/rand"
 
+	"aim/internal/audit"
 	"aim/internal/core"
 	"aim/internal/engine"
 	"aim/internal/obs"
 	"aim/internal/regression"
 	"aim/internal/shadow"
+	"aim/internal/telemetry"
 	"aim/internal/workload"
 )
 
@@ -32,6 +34,15 @@ type ContinuousResult struct {
 	// CPUSavingFraction is (phase2 - phase3) / phase2 — the paper reports
 	// ~2% at fleet level; a single shifted database shows much more.
 	CPUSavingFraction float64
+	// Phase4Regressions and RevertedIndexes summarize the data-surge phase:
+	// regressions flagged after the table doubled, and automation indexes
+	// the detector reverted.
+	Phase4Regressions int
+	RevertedIndexes   int
+	// TelemetryAddr is the bound address of the telemetry server when
+	// Options.TelemetryAddr requested one ("" otherwise). The server is
+	// closed before RunContinuous returns.
+	TelemetryAddr string
 }
 
 // ContinuousOptions parameterizes the study.
@@ -42,6 +53,22 @@ type ContinuousOptions struct {
 	// Obs, when non-nil, instruments the database (shadow-gate verdicts,
 	// regression-window counters, advisor spans all land in this registry).
 	Obs *obs.Registry
+	// Audit, when non-nil, journals every advisor decision of the run
+	// (candidates, rank verdicts, shadow verdicts, adoptions, reverts) so
+	// `aimctl explain` can reconstruct why each index exists or was removed.
+	Audit *audit.Journal
+	// TelemetryAddr, when non-empty, serves /metricsz, /statusz, /healthz
+	// and /debug/pprof on the address for the duration of the run (use
+	// "127.0.0.1:0" for an ephemeral port; the bound address lands in
+	// ContinuousResult.TelemetryAddr).
+	TelemetryAddr string
+	// OnTelemetryStart, when set, receives the bound address as soon as the
+	// server is listening — before phase 1 — so callers can scrape while the
+	// loop runs.
+	OnTelemetryStart func(addr string)
+	// SkipRevertPhase stops after phase 3, preserving the pre-existing
+	// three-phase study (the benchmark tables don't include the surge).
+	SkipRevertPhase bool
 }
 
 // DefaultContinuousOptions keeps the study small.
@@ -55,6 +82,7 @@ func RunContinuous(opts ContinuousOptions) (*ContinuousResult, error) {
 	if opts.Obs != nil {
 		db.SetObs(opts.Obs)
 	}
+	db.SetAudit(opts.Audit)
 	db.MustExec(`CREATE TABLE events (id INT, user_id INT, kind INT, day INT, score INT, payload VARCHAR(8), PRIMARY KEY (id))`)
 	r := rand.New(rand.NewSource(opts.Seed))
 	for i := 0; i < opts.Rows; i++ {
@@ -95,11 +123,44 @@ func RunContinuous(opts ContinuousOptions) (*ContinuousResult, error) {
 	detector := regression.NewDetector(0.5)
 	out := &ContinuousResult{}
 
+	// Optional live telemetry: the loop's registry, index set, detector
+	// baselines and journal position become scrapeable while phases run.
+	var tel *telemetry.Server
+	if opts.TelemetryAddr != "" {
+		tel = telemetry.New(telemetry.Options{
+			Registry: opts.Obs,
+			DB:       db,
+			Detector: detector,
+			Audit:    opts.Audit,
+		})
+		addr, err := tel.Start(opts.TelemetryAddr)
+		if err != nil {
+			return nil, err
+		}
+		out.TelemetryAddr = addr
+		defer tel.Close()
+		if opts.OnTelemetryStart != nil {
+			opts.OnTelemetryStart(addr)
+		}
+	}
+
 	// Phase 1: steady state — tune the original workload to convergence.
+	// Adoption goes through the shadow gate like every other cycle, so even
+	// the steady-state indexes carry a full candidate→rank→shadow→adopt
+	// lineage in the audit journal.
 	mon1, _ := window(oldQueries)
 	if rec, err := adv.Recommend(mon1); err == nil && len(rec.Create) > 0 {
-		if _, err := adv.Apply(rec); err != nil {
-			return nil, err
+		rep1, verr := shadow.Validate(db, rec.Create, mon1, shadow.DefaultGate())
+		if verr != nil {
+			rep1 = &shadow.Report{Degraded: true, Code: shadow.CodeCloneUnavailable, Reason: verr.Error()}
+		}
+		if tel != nil {
+			tel.SetShadowReport(rep1)
+		}
+		if rep1.Accepted {
+			if _, err := adv.Apply(rec); err != nil {
+				return nil, err
+			}
 		}
 	}
 	mon1b, cpu1 := window(oldQueries)
@@ -128,7 +189,10 @@ func RunContinuous(opts ContinuousOptions) (*ContinuousResult, error) {
 	out.NewIndexes = len(rec.Create)
 	report, err := shadow.Validate(db, rec.Create, mon2, shadow.DefaultGate())
 	if err != nil {
-		report = &shadow.Report{Degraded: true, Reason: err.Error()}
+		report = &shadow.Report{Degraded: true, Code: shadow.CodeCloneUnavailable, Reason: err.Error()}
+	}
+	if tel != nil {
+		tel.SetShadowReport(report)
 	}
 	out.ShadowAccepted = report.Accepted
 	if report.Accepted {
@@ -157,5 +221,26 @@ func RunContinuous(opts ContinuousOptions) (*ContinuousResult, error) {
 			}
 		}
 	}
+	if opts.SkipRevertPhase {
+		return out, nil
+	}
+
+	// Phase 4: data surge. The tuned windows become the detector's
+	// baselines, then the table triples; every per-query cpu_avg scales
+	// with the matched row count, blowing past the 50% threshold, and the
+	// detector's suspects — the automation-created indexes in the regressed
+	// queries' plans — are reverted. This exercises the last leg of the
+	// no-regression guarantee (and gives the audit journal its
+	// adopted-then-reverted lineage).
+	detector.Observe(db, mon3)
+	for i := 0; i < 2*opts.Rows; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO events VALUES (%d, %d, %d, %d, %d, 'p%d')",
+			opts.Rows+i, r.Intn(300), r.Intn(10), r.Intn(365), r.Intn(1000), r.Intn(6)))
+	}
+	db.Analyze()
+	mon4, _ := window(mixed)
+	regs := detector.Observe(db, mon4)
+	out.Phase4Regressions = len(regs)
+	out.RevertedIndexes = len(regression.Revert(db, regs))
 	return out, nil
 }

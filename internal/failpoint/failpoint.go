@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -149,6 +150,35 @@ func (r *Registry) InjectedTotal() int64 {
 	}
 	return n
 }
+
+// SiteStatus is one armed site's state, exported for the /statusz telemetry
+// endpoint.
+type SiteStatus struct {
+	Name     string `json:"name"`
+	Actions  int    `json:"actions"`
+	Hits     int64  `json:"hits"`
+	Injected int64  `json:"injected"`
+}
+
+// Sites lists the registry's armed sites sorted by name (nil-safe, empty
+// when disabled).
+func (r *Registry) Sites() []SiteStatus {
+	if r == nil {
+		return nil
+	}
+	out := make([]SiteStatus, 0, len(r.sites))
+	for _, s := range r.sites {
+		s.mu.Lock()
+		out = append(out, SiteStatus{Name: s.name, Actions: len(s.actions), Hits: s.hits, Injected: s.injected})
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ArmedSites lists the process-wide armed sites (empty when no registry is
+// active).
+func ArmedSites() []SiteStatus { return active.Load().Sites() }
 
 // active is the process-wide armed registry; nil = disabled.
 var active atomic.Pointer[Registry]

@@ -170,6 +170,40 @@ func (h *Histogram) Mean() float64 {
 	return h.Sum() / float64(n)
 }
 
+// BucketCount is one non-empty histogram bucket in a snapshot: the count of
+// observations that fell inside (UpperBound's bucket, non-cumulative).
+type BucketCount struct {
+	// UpperBound is the bucket's exclusive upper bound (2^(i-histBias)).
+	UpperBound float64
+	Count      int64
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state, used by
+// exporters that need the full bucket distribution rather than fixed
+// percentiles (the /metricsz Prometheus endpoint).
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     float64
+	Buckets []BucketCount // non-empty buckets only, ascending bound
+}
+
+// Snapshot copies the histogram's current state. Zero-value on nil.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	out := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			out.Buckets = append(out.Buckets, BucketCount{
+				UpperBound: math.Exp2(float64(i - histBias)),
+				Count:      n,
+			})
+		}
+	}
+	return out
+}
+
 // Quantile returns the approximate q-quantile (q in [0, 1]); 0 on nil or
 // with no observations. The answer is the representative value of the
 // bucket containing the rank-q observation.
@@ -312,6 +346,65 @@ func sortedKeys[V any](m map[string]V) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. It is the
+// exporter-facing view: the /metricsz Prometheus renderer and the /statusz
+// JSON endpoint read snapshots instead of holding the registry lock while
+// formatting. GaugeFunc callbacks are evaluated (outside the registry lock)
+// and folded into Gauges.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+	Spans      map[string]HistogramSnapshot
+}
+
+// Snapshot captures the registry's current state. Returns an empty (but
+// non-nil-map) snapshot on a nil registry so exporters need no nil checks.
+func (r *Registry) Snapshot() *Snapshot {
+	out := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Spans:      map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	for k, c := range r.counters {
+		out.Counters[k] = c.Value()
+	}
+	for k, g := range r.gauges {
+		out.Gauges[k] = g.Value()
+	}
+	funcs := make(map[string]func() int64, len(r.gaugeFuncs))
+	for k, fn := range r.gaugeFuncs {
+		funcs[k] = fn
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = h
+	}
+	spans := make(map[string]*Histogram, len(r.spans))
+	for k, h := range r.spans {
+		spans[k] = h
+	}
+	r.mu.Unlock()
+	// Callbacks and histogram copies run outside the lock: GaugeFunc
+	// callbacks may take other components' locks (cache shards), and bucket
+	// copies are O(histBuckets) each.
+	for k, fn := range funcs {
+		out.Gauges[k] = fn()
+	}
+	for k, h := range hists {
+		out.Histograms[k] = h.Snapshot()
+	}
+	for k, h := range spans {
+		out.Spans[k] = h.Snapshot()
+	}
+	return out
 }
 
 // WriteTo renders an expvar-style text snapshot of every metric, sorted by

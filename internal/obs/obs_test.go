@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -205,5 +206,82 @@ func TestSpanTraceJSON(t *testing.T) {
 	}
 	if childRec.DurUS < 0 || rootRec.DurUS < childRec.DurUS {
 		t.Errorf("durations inconsistent: root %v < child %v", rootRec.DurUS, childRec.DurUS)
+	}
+}
+
+// TestTraceBufferRotation drives the byte-capped trace sink across the
+// rotation boundary: the write that pushes the buffer over the limit must
+// evict whole oldest lines (never partial ones), and a single line larger
+// than the limit is itself discarded so the cap is a hard bound.
+func TestTraceBufferRotation(t *testing.T) {
+	line := func(i int) string { return fmt.Sprintf("{\"id\":%03d}\n", i) } // fixed 11 bytes
+	tb := NewTraceBuffer(3 * len(line(0)))
+
+	// Exactly at the limit: nothing dropped.
+	for i := 0; i < 3; i++ {
+		tb.Write([]byte(line(i)))
+	}
+	if tb.Dropped() != 0 || tb.Len() != 3*len(line(0)) {
+		t.Fatalf("at boundary: dropped=%d len=%d", tb.Dropped(), tb.Len())
+	}
+	// One byte over: exactly one whole oldest line goes.
+	tb.Write([]byte(line(3)))
+	if tb.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", tb.Dropped())
+	}
+	if got, want := tb.String(), line(1)+line(2)+line(3); got != want {
+		t.Fatalf("after rotation:\n got %q\nwant %q", got, want)
+	}
+
+	// A burst lands and only the newest lines survive.
+	for i := 4; i < 20; i++ {
+		tb.Write([]byte(line(i)))
+	}
+	if got, want := tb.String(), line(17)+line(18)+line(19); got != want {
+		t.Fatalf("after burst:\n got %q\nwant %q", got, want)
+	}
+
+	// An oversized single line cannot wedge the buffer above the cap.
+	huge := strings.Repeat("x", 4*len(line(0))) // no trailing newline yet
+	tb.Write([]byte(huge))
+	if tb.Len() != 0 {
+		t.Fatalf("oversized line retained: len=%d", tb.Len())
+	}
+
+	// Shrinking the limit evicts immediately.
+	tb2 := &TraceBuffer{} // zero value: unbounded
+	for i := 0; i < 5; i++ {
+		tb2.Write([]byte(line(i)))
+	}
+	tb2.SetLimit(2 * len(line(0)))
+	if got, want := tb2.String(), line(3)+line(4); got != want {
+		t.Fatalf("after SetLimit:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestHistogramSnapshotBuckets pins the bucket export the Prometheus
+// endpoint renders: non-empty buckets only, ascending power-of-two upper
+// bounds, counts matching the observations.
+func TestHistogramSnapshotBuckets(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(0.75) // bucket upper bound 1
+	h.Observe(0.75)
+	h.Observe(3) // bucket upper bound 4
+	snap := h.Snapshot()
+	if snap.Count != 3 || snap.Sum != 4.5 {
+		t.Fatalf("count=%d sum=%v", snap.Count, snap.Sum)
+	}
+	if len(snap.Buckets) != 2 {
+		t.Fatalf("buckets = %+v", snap.Buckets)
+	}
+	if snap.Buckets[0].UpperBound != 1 || snap.Buckets[0].Count != 2 {
+		t.Errorf("bucket[0] = %+v", snap.Buckets[0])
+	}
+	if snap.Buckets[1].UpperBound != 4 || snap.Buckets[1].Count != 1 {
+		t.Errorf("bucket[1] = %+v", snap.Buckets[1])
+	}
+	var nilH *Histogram
+	if s := nilH.Snapshot(); s.Count != 0 || len(s.Buckets) != 0 {
+		t.Errorf("nil snapshot = %+v", s)
 	}
 }

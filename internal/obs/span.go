@@ -1,9 +1,9 @@
 package obs
 
 import (
+	"bytes"
 	"fmt"
 	"io"
-	"strings"
 	"sync"
 	"time"
 )
@@ -30,6 +30,16 @@ func (r *Registry) StartSpan(name string) *Span {
 		return nil
 	}
 	return &Span{reg: r, name: name, id: r.spanSeq.Add(1), start: time.Now()}
+}
+
+// ID returns the span's registry-unique identifier (0 on nil). The audit
+// journal stores it on every decision record so a journal line can be joined
+// against the JSON trace (-trace-out) of the phase that produced it.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // Child opens a nested span under s. Returns nil on a nil span.
@@ -85,22 +95,77 @@ func (r *Registry) emitTrace(s *Span, d time.Duration) {
 }
 
 // TraceBuffer is a minimal in-memory trace sink for tests and for callers
-// that want to post-process spans without a file.
+// that want to post-process spans without a file. The zero value buffers
+// without bound; long-lived sinks (a continuous-tuning loop with tracing
+// attached) should set a byte limit so the buffer cannot grow memory
+// unboundedly — once over the limit, whole oldest lines are dropped first.
 type TraceBuffer struct {
-	mu sync.Mutex
-	b  strings.Builder
+	mu      sync.Mutex
+	limit   int
+	buf     []byte
+	dropped int64
+}
+
+// NewTraceBuffer returns a trace sink capped at limitBytes (0 = unbounded,
+// equivalent to the zero value).
+func NewTraceBuffer(limitBytes int) *TraceBuffer {
+	return &TraceBuffer{limit: limitBytes}
+}
+
+// SetLimit changes the byte cap (0 = unbounded) and immediately evicts
+// oldest lines if the buffered content already exceeds it.
+func (t *TraceBuffer) SetLimit(limitBytes int) {
+	t.mu.Lock()
+	t.limit = limitBytes
+	t.evictLocked()
+	t.mu.Unlock()
 }
 
 // Write implements io.Writer.
 func (t *TraceBuffer) Write(p []byte) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.b.Write(p)
+	t.buf = append(t.buf, p...)
+	t.evictLocked()
+	return len(p), nil
+}
+
+// evictLocked drops whole lines from the front until the buffer fits the
+// limit. A single line larger than the limit is itself dropped: the cap is a
+// hard memory bound, not a best-effort one.
+func (t *TraceBuffer) evictLocked() {
+	if t.limit <= 0 {
+		return
+	}
+	for len(t.buf) > t.limit {
+		nl := bytes.IndexByte(t.buf, '\n')
+		if nl < 0 {
+			t.buf = t.buf[:0]
+			t.dropped++
+			return
+		}
+		t.buf = t.buf[nl+1:]
+		t.dropped++
+	}
+}
+
+// Dropped returns how many lines rotation has discarded.
+func (t *TraceBuffer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len returns the buffered byte count.
+func (t *TraceBuffer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
 }
 
 // String returns the buffered JSON lines.
 func (t *TraceBuffer) String() string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.b.String()
+	return string(t.buf)
 }

@@ -7,8 +7,10 @@ package regression
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
+	"aim/internal/audit"
 	"aim/internal/catalog"
 	"aim/internal/engine"
 	"aim/internal/failpoint"
@@ -43,6 +45,7 @@ type Detector struct {
 	// 0 selects DefaultMaxBaselineAge.
 	MaxBaselineAge int
 
+	mu   sync.Mutex          // guards prev: Observe vs. telemetry Baselines
 	prev map[string]baseline // normalized query -> last known cpu_avg
 }
 
@@ -110,6 +113,8 @@ func (d *Detector) Observe(db *engine.DB, mon *workload.Monitor) []*Regression {
 		return nil
 	}
 	reg.Counter("regression.windows").Inc()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	var found []*Regression
 	cur := map[string]baseline{}
 	for _, q := range mon.Queries() {
@@ -161,6 +166,29 @@ func (d *Detector) Observe(db *engine.DB, mon *workload.Monitor) []*Regression {
 	return found
 }
 
+// Baseline is one remembered per-query baseline, exported for the /statusz
+// telemetry endpoint.
+type Baseline struct {
+	Normalized string  `json:"query"`
+	CPUAvg     float64 `json:"cpu_avg"`
+	// Age is how many consecutive quiet windows the baseline has been
+	// carried forward (0 = refreshed in the last observed window).
+	Age int `json:"age"`
+}
+
+// Baselines returns the detector's current baselines, sorted by query.
+// Safe to call concurrently with Observe.
+func (d *Detector) Baselines() []Baseline {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Baseline, 0, len(d.prev))
+	for q, b := range d.prev {
+		out = append(out, Baseline{Normalized: q, CPUAvg: b.cpu, Age: b.age})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Normalized < out[j].Normalized })
+	return out
+}
+
 // revertPolicy bounds per-index drop retries during a revert. Reverts are
 // the last line of the no-regression guarantee, so they get a larger retry
 // budget than forward-path operations.
@@ -175,6 +203,9 @@ var revertPolicy = failpoint.Policy{Attempts: 5, Base: time.Millisecond, Max: 16
 // regression keeps flagging it, so the revert is re-attempted until it
 // lands.
 func Revert(db *engine.DB, regs []*Regression) []string {
+	span := db.ObsRegistry().StartSpan("regression/revert")
+	defer span.End()
+	jrn := db.AuditJournal()
 	var dropped []string
 	failures := 0
 	seen := map[string]bool{}
@@ -202,6 +233,19 @@ func Revert(db *engine.DB, regs []*Regression) []string {
 				continue
 			}
 			dropped = append(dropped, name)
+			if jrn != nil {
+				jrn.Append(&audit.Record{
+					Event:      audit.EventRevert,
+					SpanID:     span.ID(),
+					IndexKey:   ix.Key(),
+					Index:      ix.Name,
+					Table:      ix.Table,
+					ReasonCode: "query_regressed",
+					Query:      r.Normalized,
+					BeforeCPU:  r.BeforeCPU,
+					AfterCPU:   r.AfterCPU,
+				})
+			}
 		}
 	}
 	if failures > 0 {

@@ -18,9 +18,11 @@ import (
 	"fmt"
 	"time"
 
+	"aim/internal/audit"
 	"aim/internal/catalog"
 	"aim/internal/engine"
 	"aim/internal/failpoint"
+	"aim/internal/obs"
 	"aim/internal/sqlparser"
 	"aim/internal/sqltypes"
 	"aim/internal/workload"
@@ -81,7 +83,12 @@ func (o *QueryOutcome) Change() float64 {
 // Report is the verdict of one validation run.
 type Report struct {
 	Accepted bool
-	Reason   string
+	// Code is the typed, machine-readable classification of the verdict;
+	// Reason is the human-facing sentence carrying the specifics (which
+	// query, by how much). Both are always set — accepted and rejected
+	// verdicts alike.
+	Code   ReasonCode
+	Reason string
 	// Degraded marks a verdict produced under failure rather than by the
 	// gate: the clone environment could not be built, one or more queries
 	// stayed unreplayable after retries, or the validation panicked. A
@@ -117,6 +124,8 @@ var errDiverged = errors.New("shadow: clones diverged on one-sided DML error")
 func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor, gate Gate) (rep *Report, err error) {
 	reg := db.ObsRegistry()
 	reg.Counter("shadow.validations").Inc()
+	span := reg.StartSpan("shadow/validate")
+	defer span.End()
 	verdict := func(rep *Report) (*Report, error) {
 		if rep.Accepted {
 			reg.Counter("shadow.accepted").Inc()
@@ -127,6 +136,7 @@ func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor,
 			reg.Counter("shadow.degraded").Inc()
 			failpoint.CountDegraded()
 		}
+		journalVerdict(db, span, candidates, mon, rep)
 		return rep, nil
 	}
 	// Everything below runs on clones; production state is untouched until
@@ -137,12 +147,13 @@ func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor,
 		if p := recover(); p != nil {
 			rep, err = verdict(&Report{
 				Degraded: true,
+				Code:     CodePanicked,
 				Reason:   fmt.Sprintf("validation panicked: %v", p),
 			})
 		}
 	}()
 	if len(candidates) == 0 {
-		return verdict(&Report{Accepted: false, Reason: "no candidate indexes"})
+		return verdict(&Report{Accepted: false, Code: CodeNoCandidates, Reason: "no candidate indexes"})
 	}
 
 	// makeClones builds a fresh baseline/test pair from production, with the
@@ -190,6 +201,7 @@ func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor,
 	if err != nil {
 		return verdict(&Report{
 			Degraded: true,
+			Code:     CodeCloneUnavailable,
 			Reason:   fmt.Sprintf("clone environment unavailable: %v", err),
 		})
 	}
@@ -215,6 +227,7 @@ func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor,
 				reg.Counter("shadow.divergent").Inc()
 				if baseline, test, err = makeClones(); err != nil {
 					rep.Degraded = true
+					rep.Code = CodeCloneRebuildFailed
 					rep.Reason = fmt.Sprintf("clone rebuild after divergence failed: %v", err)
 					return verdict(rep)
 				}
@@ -250,6 +263,7 @@ func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor,
 	// before the gate equations run.
 	if len(rep.ReplayErrors) > 0 || (len(rep.Outcomes) == 0 && mon.Len() > 0) {
 		rep.Degraded = true
+		rep.Code = CodeUnreplayable
 		rep.Reason = fmt.Sprintf("validation degraded: %d of %d queries unreplayable",
 			len(rep.ReplayErrors), mon.Len())
 		return verdict(rep)
@@ -258,25 +272,61 @@ func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor,
 	// Eq. 4: no individual regression beyond λ₃.
 	for _, out := range rep.Outcomes {
 		if out.BeforeCPU > 0 && out.Change() > gate.Lambda3 {
+			rep.Code = CodeQueryRegressed
 			rep.Reason = fmt.Sprintf("query regressed %.1f%% > λ₃: %s", out.Change()*100, out.Normalized)
 			return verdict(rep)
 		}
 	}
 	// Eq. 3: at least one query improved by λ₂.
 	if !improvedOne {
+		rep.Code = CodeNoQueryImproved
 		rep.Reason = "no query improved by λ₂"
 		return verdict(rep)
 	}
 	// Eq. 2 (approximated): the overall cost must not increase by more
 	// than λ₁ relative to the candidate configuration's promise.
 	if totalBefore > 0 && totalAfter > totalBefore*(1+gate.Lambda1) {
+		rep.Code = CodeOverallRegressed
 		rep.Reason = "overall cost regressed beyond λ₁"
 		return verdict(rep)
 	}
 	rep.Accepted = true
-	rep.Reason = "accepted"
+	rep.Code = CodeAccepted
+	// Accepted verdicts carry the evidence, not just the word: how many
+	// queries were compared and what the gate measured.
+	rep.Reason = fmt.Sprintf("accepted: %d queries compared, gain %.4fs cpu/window", len(rep.Outcomes), rep.TotalGain)
 	rep.AcceptedIndexes = candidates
 	return verdict(rep)
+}
+
+// journalVerdict writes one shadow record per candidate index to the
+// database's audit journal (no-op when none is attached), each carrying the
+// validation span so the journal joins against the trace.
+func journalVerdict(db *engine.DB, span *obs.Span, candidates []*catalog.Index, mon *workload.Monitor, rep *Report) {
+	j := db.AuditJournal()
+	if j == nil {
+		return
+	}
+	var replays int64
+	for _, o := range rep.Outcomes {
+		replays += int64(o.Replays)
+	}
+	for _, ix := range candidates {
+		j.Append(&audit.Record{
+			Event:               audit.EventShadow,
+			SpanID:              span.ID(),
+			IndexKey:            ix.Key(),
+			Index:               ix.Name,
+			Table:               ix.Table,
+			Verdict:             rep.Verdict(),
+			ReasonCode:          string(rep.Code),
+			Reason:              rep.Reason,
+			Replays:             replays,
+			QueriesCompared:     len(rep.Outcomes),
+			QueriesDiverged:     len(rep.Divergent),
+			QueriesUnreplayable: len(rep.ReplayErrors),
+		})
+	}
 }
 
 // replayQuery executes the query's sampled parameterizations on both clones

@@ -1,0 +1,72 @@
+package telemetry_test
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"aim/internal/audit"
+	"aim/internal/experiments"
+	"aim/internal/obs"
+)
+
+// TestScrapeDuringTuningLoop runs the continuous-tuning experiment with the
+// telemetry server attached and hammers /metricsz and /statusz from
+// concurrent scrapers for the whole run. Under -race this proves reading
+// telemetry never races with the loop mutating the schema, the registry,
+// the detector baselines or the journal. Request errors near the end are
+// expected (the loop closes its server on return) and ignored; a minimum
+// number of scrapes must succeed while the loop is live.
+func TestScrapeDuringTuningLoop(t *testing.T) {
+	var jb strings.Builder
+	opts := experiments.DefaultContinuousOptions()
+	opts.Obs = obs.NewRegistry()
+	opts.Audit = audit.New(&jb)
+	opts.TelemetryAddr = "127.0.0.1:0"
+
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	var metricsOK, statusOK atomic.Int64
+	opts.OnTelemetryStart = func(addr string) {
+		scrape := func(path string, ok *atomic.Int64, check func(string) bool) {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get("http://" + addr + path)
+				if err != nil {
+					continue // loop finished and closed the server
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == 200 && check(string(body)) {
+					ok.Add(1)
+				}
+			}
+		}
+		for i := 0; i < 2; i++ {
+			scrapers.Add(2)
+			go scrape("/metricsz", &metricsOK, func(b string) bool { return strings.Contains(b, "# TYPE") })
+			go scrape("/statusz", &statusOK, func(b string) bool { return strings.Contains(b, `"indexes"`) })
+		}
+	}
+
+	res, err := experiments.RunContinuous(opts)
+	close(stop)
+	scrapers.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TelemetryAddr == "" {
+		t.Fatal("telemetry server did not start")
+	}
+	if metricsOK.Load() == 0 || statusOK.Load() == 0 {
+		t.Errorf("no successful live scrapes: metrics=%d status=%d", metricsOK.Load(), statusOK.Load())
+	}
+}

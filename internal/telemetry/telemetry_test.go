@@ -1,0 +1,265 @@
+package telemetry_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"aim/internal/audit"
+	"aim/internal/core"
+	"aim/internal/engine"
+	"aim/internal/failpoint"
+	"aim/internal/obs"
+	"aim/internal/regression"
+	"aim/internal/shadow"
+	"aim/internal/telemetry"
+	"aim/internal/workload"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"a.b-c":             "a_b_c",
+		"core.partialorder": "core_partialorder",
+		"exec.rows_read":    "exec_rows_read",
+		"ns:sub":            "ns:sub",
+		"7up":               "_7up",
+		"weird name!":       "weird_name_",
+	}
+	for in, want := range cases {
+		if got := telemetry.SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPrometheusGoldenExposition pins the exact exposition bytes for a
+// deterministically populated registry: sorted families, sanitized names,
+// cumulative histogram buckets with _sum/_count. Any format drift (ordering,
+// float rendering, le labels) fails here first.
+func TestPrometheusGoldenExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("exec.rows_read").Add(5)
+	reg.Counter("core.selected").Add(2)
+	reg.Gauge("regression.baselines").Set(3)
+	h := reg.Histogram("whatif.cost-micros")
+	h.Observe(0.75)
+	h.Observe(0.75)
+	h.Observe(3)
+
+	var sb strings.Builder
+	telemetry.WritePrometheus(&sb, reg.Snapshot())
+	want := `# TYPE core_selected counter
+core_selected 2
+# TYPE exec_rows_read counter
+exec_rows_read 5
+# TYPE regression_baselines gauge
+regression_baselines 3
+# TYPE whatif_cost_micros histogram
+whatif_cost_micros_bucket{le="1"} 2
+whatif_cost_micros_bucket{le="4"} 3
+whatif_cost_micros_bucket{le="+Inf"} 3
+whatif_cost_micros_sum 4.5
+whatif_cost_micros_count 3
+`
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// benchDB builds a small seeded two-table database with a mixed workload,
+// mirroring the core golden harness.
+func benchDB(t testing.TB) (*engine.DB, *workload.Monitor) {
+	t.Helper()
+	db := engine.New("telemetry_test")
+	db.MustExec(`CREATE TABLE products (id INT, category INT, brand INT, price FLOAT, PRIMARY KEY (id))`)
+	db.MustExec(`CREATE TABLE orders (id INT, product_id INT, customer INT, status INT, PRIMARY KEY (id))`)
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 800; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO products VALUES (%d, %d, %d, %f)", i, r.Intn(30), r.Intn(80), r.Float64()*100))
+	}
+	for i := 0; i < 1600; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO orders VALUES (%d, %d, %d, %d)", i, r.Intn(800), r.Intn(300), r.Intn(4)))
+	}
+	db.Analyze()
+	mon := workload.NewMonitor()
+	queries := []string{
+		"SELECT id, price FROM products WHERE category = 7 AND brand = 11",
+		"SELECT id FROM orders WHERE customer = 17 AND status = 2",
+		"SELECT id FROM orders WHERE product_id = 455",
+		"UPDATE orders SET status = 3 WHERE id = 77",
+	}
+	for _, q := range queries {
+		res, err := db.Exec(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := mon.Record(q, res.Stats); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return db, mon
+}
+
+// deterministicFamilies keeps only exposition families whose values cannot
+// depend on scheduling: decision counters from the advisor core, executor
+// work counters and storage counters. Timing histograms, span latencies,
+// pool and cache activity legitimately vary run to run and across worker
+// counts.
+func deterministicFamilies(exposition string) string {
+	var keep []string
+	for _, line := range strings.Split(exposition, "\n") {
+		name := strings.TrimPrefix(line, "# TYPE ")
+		if strings.HasPrefix(name, "core_") || strings.HasPrefix(name, "exec_") || strings.HasPrefix(name, "storage_") {
+			if !strings.Contains(name, "_seconds") && !strings.Contains(name, "micros") {
+				keep = append(keep, line)
+			}
+		}
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestMetricsWorkerDeterminism runs the advisor at different worker counts
+// over identical databases and requires the deterministic core of the
+// exposition to be byte-identical — the /metricsz analogue of the golden
+// recommendation-determinism suite.
+func TestMetricsWorkerDeterminism(t *testing.T) {
+	run := func(workers int) string {
+		db, mon := benchDB(t)
+		reg := obs.NewRegistry()
+		db.SetObs(reg)
+		cfg := core.DefaultConfig()
+		cfg.Selection.MinExecutions = 1
+		cfg.Selection.MinBenefit = 0
+		cfg.Parallelism = workers
+		adv := core.NewAdvisor(db, cfg)
+		if _, err := adv.Recommend(mon); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		telemetry.WritePrometheus(&sb, reg.Snapshot())
+		return sb.String()
+	}
+	base := deterministicFamilies(run(1))
+	if !strings.Contains(base, "core_candidates") {
+		t.Fatalf("filtered exposition lost the advisor counters:\n%s", base)
+	}
+	for _, workers := range []int{2, 4} {
+		if got := deterministicFamilies(run(workers)); got != base {
+			t.Errorf("workers=%d exposition differs:\n--- got ---\n%s\n--- want ---\n%s", workers, got, base)
+		}
+	}
+}
+
+func TestEndpoints(t *testing.T) {
+	db, _ := benchDB(t)
+	db.MustExec("CREATE INDEX aim_orders_cust ON orders (customer)")
+	reg := obs.NewRegistry()
+	db.SetObs(reg)
+	reg.Counter("exec.statements").Inc()
+
+	var jb strings.Builder
+	jrn := audit.New(&jb)
+	jrn.Append(&audit.Record{Event: audit.EventAdopt, IndexKey: "orders(customer)"})
+
+	det := regression.NewDetector(0.3)
+	fr := failpoint.New(1)
+	if err := fr.Set("storage.clone", "err(0.5)"); err != nil {
+		t.Fatal(err)
+	}
+	failpoint.Activate(fr)
+	defer failpoint.Activate(nil)
+
+	srv := telemetry.New(telemetry.Options{Registry: reg, DB: db, Detector: det, Audit: jrn})
+	srv.SetShadowReport(&shadow.Report{Accepted: true, Code: shadow.CodeAccepted, Reason: "accepted: 2 queries compared",
+		Outcomes: []shadow.QueryOutcome{{Normalized: "SELECT ...", Replays: 3, BeforeCPU: 0.2, AfterCPU: 0.1}}})
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get("/metricsz"); code != 200 || !strings.Contains(body, "# TYPE exec_statements counter") {
+		t.Errorf("/metricsz = %d:\n%s", code, body)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+
+	code, body := get("/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz = %d", code)
+	}
+	var status struct {
+		Indexes []struct {
+			Name string `json:"name"`
+		} `json:"indexes"`
+		Shadow struct {
+			Verdict    string `json:"verdict"`
+			ReasonCode string `json:"reason_code"`
+		} `json:"shadow"`
+		Failpoints []struct {
+			Name string `json:"name"`
+		} `json:"failpoints"`
+		CostCache    *struct{} `json:"costcache"`
+		AuditRecords int64     `json:"audit_records"`
+	}
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatalf("/statusz not JSON: %v\n%s", err, body)
+	}
+	if len(status.Indexes) == 0 {
+		t.Error("/statusz missing index set")
+	}
+	if status.Shadow.Verdict != "accepted" || status.Shadow.ReasonCode != "accepted" {
+		t.Errorf("/statusz shadow = %+v", status.Shadow)
+	}
+	if len(status.Failpoints) != 1 || status.Failpoints[0].Name != "storage.clone" {
+		t.Errorf("/statusz failpoints = %+v", status.Failpoints)
+	}
+	if status.CostCache == nil || status.AuditRecords != 1 {
+		t.Errorf("/statusz costcache=%v audit_records=%d", status.CostCache, status.AuditRecords)
+	}
+}
+
+// TestStartClose exercises the real listener path used by -telemetry-addr.
+func TestStartClose(t *testing.T) {
+	srv := telemetry.New(telemetry.Options{Registry: obs.NewRegistry()})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+	if srv.Addr() != addr {
+		t.Errorf("Addr() = %q, want %q", srv.Addr(), addr)
+	}
+	if err := srv.Close(); err != nil {
+		t.Error(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still serving after Close")
+	}
+}
