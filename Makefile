@@ -4,11 +4,11 @@ GO ?= go
 FUZZTIME ?= 30s
 
 # Minimum total statement coverage `make cover` accepts. The repo measures
-# 77.8% at the time this gate was added; the floor sits just below to absorb
+# 77.1% as of the scenario-suite change; the floor sits just below to absorb
 # counting noise while still catching real coverage regressions.
-COVER_BASELINE ?= 76.0
+COVER_BASELINE ?= 76.5
 
-.PHONY: check vet build test race benchsmoke metricssmoke telemetrysmoke benchstorage benchstoragesmoke bench fuzzsmoke faultsuite cover clean
+.PHONY: check vet build test race benchsmoke metricssmoke telemetrysmoke benchstorage benchstoragesmoke bench fuzzsmoke faultsuite scenariosuite cover clean
 
 # check is the tier-1 gate: everything here must pass before a change lands.
 check: vet build race benchsmoke metricssmoke telemetrysmoke benchstoragesmoke
@@ -54,12 +54,22 @@ fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzMergeCandidatesPairwise$$' -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -run '^$$' -fuzz 'FuzzDNFSemanticEquivalence$$' -fuzztime $(FUZZTIME) ./internal/queryinfo/
 	$(GO) test -run '^$$' -fuzz 'FuzzFailpointSpec$$' -fuzztime $(FUZZTIME) ./internal/failpoint/
+	$(GO) test -run '^$$' -fuzz 'FuzzScenarioDeterminism$$' -fuzztime $(FUZZTIME) ./internal/scenarios/
 
 # The fault-injection acceptance sweep: 1000 tuning cycles at fault rates
 # {1%, 5%, 20%} with a fixed seed, asserting no ungated adoptions, no
 # partial-index leaks and convergence to the fault-free recommendation set.
 faultsuite:
 	AIM_FAULT_SUITE=1 $(GO) test -run TestTuningLoopUnderFaults -v ./internal/experiments/
+
+# The adversarial-scenario acceptance sweep: five seeded workload scenarios
+# (diurnal mix shifts, flash crowds, mid-stream migration, drifting range
+# predicates, write-amplification traps) run at their full cycle counts,
+# asserting bounded adopt/revert flips, bounded time-to-revert after each
+# trap, zero ungated adoptions and a reconstructable audit lineage for every
+# adopted-then-reverted index.
+scenariosuite:
+	AIM_SCENARIO_SUITE=1 $(GO) test -run 'TestTuningLoopUnderScenarios|TestScenarioExplainGoldenDrift' -v ./internal/experiments/
 
 # Coverage gate: full-repo statement coverage must not drop below
 # COVER_BASELINE. Writes coverage.out + coverage.html at the repo root.

@@ -10,6 +10,8 @@
 //	aimbench -exp fig5                # per-query TPC-H costs at fixed budget
 //	aimbench -exp fig6                # join-parameter study vs greedy
 //	aimbench -exp continuous          # workload-shift continuous tuning
+//	aimbench -exp scenario -scenario drift   # one adversarial scenario
+//	aimbench -exp scenario -scenario all     # the whole adversarial suite
 //	aimbench -exp all                 # everything (slow)
 //
 // -fast shrinks datasets for quick smoke runs. -metrics dumps the
@@ -24,6 +26,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"text/tabwriter"
 
 	"aim/internal/audit"
@@ -31,6 +34,7 @@ import (
 	"aim/internal/failpoint"
 	"aim/internal/obs"
 	"aim/internal/pool"
+	"aim/internal/scenarios"
 	"aim/internal/storage"
 	"aim/internal/workloads/products"
 )
@@ -44,8 +48,9 @@ var obsReg *obs.Registry
 var contAuditOut, contTelemetryAddr string
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|fig3|fig4|fig5|fig6|continuous|all")
+	exp := flag.String("exp", "all", "experiment: table2|fig3|fig4|fig5|fig6|continuous|scenario|all")
 	bench := flag.String("bench", "tpch", "benchmark for fig4: tpch|job")
+	scenario := flag.String("scenario", "all", "adversarial scenario for -exp scenario: "+strings.Join(scenarios.Names(), "|")+"|all")
 	product := flag.String("product", "C", "product for fig3: A..G")
 	fast := flag.Bool("fast", false, "reduced dataset sizes")
 	workers := flag.Int("workers", 0, "cap what-if costing parallelism (0 = all cores)")
@@ -113,6 +118,8 @@ func main() {
 		run("Figure 6", func() error { return runFig6(*fast) })
 	case "continuous":
 		run("Continuous tuning (§VI-D)", func() error { return runContinuous(*fast) })
+	case "scenario":
+		run("Adversarial scenarios", func() error { return runScenarios(*scenario, *fast) })
 	case "all":
 		run("Table II", func() error { return runTable2(*fast) })
 		run("Figure 3", func() error { return runFig3(*product, *fast) })
@@ -321,6 +328,58 @@ func runContinuous(fast bool) error {
 		res.ImprovedQueries, res.OrderOfMagnitude, res.CPUSavingFraction*100)
 	fmt.Printf("data surge: %d regressions flagged, %d automation indexes reverted\n",
 		res.Phase4Regressions, res.RevertedIndexes)
+	return nil
+}
+
+// runScenarios drives the adversarial scenario suite outside the test
+// harness: each scenario runs its full profile (reduced with -fast), prints
+// the stability summary, and fails if any profile bound is violated.
+func runScenarios(name string, fast bool) error {
+	var list []scenarios.Scenario
+	if name == "all" {
+		list = scenarios.All()
+	} else {
+		sc, ok := scenarios.ByName(name)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (have %s)", name, strings.Join(scenarios.Names(), ", "))
+		}
+		list = []scenarios.Scenario{sc}
+	}
+	var jrn *audit.Journal
+	if contAuditOut != "" {
+		j, err := audit.Create(contAuditOut)
+		if err != nil {
+			return err
+		}
+		jrn = j
+		defer func() {
+			if err := jrn.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "aimbench: audit journal: %v\n", err)
+			}
+		}()
+	}
+	violated := 0
+	for _, sc := range list {
+		p := sc.Profile()
+		cycles := p.Cycles
+		if fast {
+			cycles = p.ReducedCycles
+		}
+		res, err := experiments.RunScenario(sc, experiments.ScenarioOptions{
+			Cycles: cycles, Seed: 1, Obs: obsReg, Audit: jrn,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s — %s\n%s", sc.Name(), sc.Description(), res.Render())
+		for _, v := range res.Violations(p) {
+			violated++
+			fmt.Printf("VIOLATION: %s\n", v)
+		}
+	}
+	if violated > 0 {
+		return fmt.Errorf("%d stability bound(s) violated", violated)
+	}
 	return nil
 }
 

@@ -155,3 +155,25 @@ not json at all
 		t.Errorf("spans = %+v", spans)
 	}
 }
+
+// TestAdoptedThenReverted: only keys whose adopt precedes a revert count; a
+// revert with no prior adopt (or records with no key) never do.
+func TestAdoptedThenReverted(t *testing.T) {
+	var sb strings.Builder
+	j := New(&sb)
+	sampleJournal(j) // events(user_id) adopted then reverted
+	j.Append(&Record{Event: EventAdopt, IndexKey: "events(kind,score)", Index: "aim_events_2", Table: "events"})
+	j.Append(&Record{Event: EventRevert, IndexKey: "orders(total)", Index: "ix_total", Table: "orders"})
+	j.Append(&Record{Event: EventRevert})
+	recs, err := ReadRecords(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := AdoptedThenReverted(recs)
+	if len(got) != 1 || got[0] != "events(user_id)" {
+		t.Errorf("AdoptedThenReverted = %v, want [events(user_id)]", got)
+	}
+	if got := AdoptedThenReverted(nil); len(got) != 0 {
+		t.Errorf("AdoptedThenReverted(nil) = %v", got)
+	}
+}

@@ -124,6 +124,35 @@ func Explain(records []*Record, ref string) (*Lineage, error) {
 	return l, nil
 }
 
+// AdoptedThenReverted returns the sorted canonical keys of indexes whose
+// journal shows an adoption followed (in sequence order) by a revert — the
+// set whose full lineage the scenario suite reconstructs.
+func AdoptedThenReverted(records []*Record) []string {
+	adoptedAt := map[string]int64{}
+	hit := map[string]bool{}
+	for _, r := range records {
+		if r.IndexKey == "" {
+			continue
+		}
+		switch r.Event {
+		case EventAdopt:
+			if _, ok := adoptedAt[r.IndexKey]; !ok {
+				adoptedAt[r.IndexKey] = r.Seq
+			}
+		case EventRevert:
+			if seq, ok := adoptedAt[r.IndexKey]; ok && r.Seq > seq {
+				hit[r.IndexKey] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(hit))
+	for k := range hit {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // References lists every distinct index reference in the journal (canonical
 // keys, sorted) — the valid arguments to Explain.
 func References(records []*Record) []string {

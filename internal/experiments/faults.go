@@ -6,14 +6,12 @@ import (
 	"sort"
 	"strings"
 
-	"aim/internal/catalog"
 	"aim/internal/core"
 	"aim/internal/engine"
 	"aim/internal/failpoint"
 	"aim/internal/obs"
 	"aim/internal/regression"
 	"aim/internal/shadow"
-	"aim/internal/workload"
 )
 
 // FaultSuiteOptions parameterizes the fault-injection study of the
@@ -90,25 +88,12 @@ func faultSpec(p float64) string {
 	return strings.Join(entries, ";")
 }
 
-// tuningLoop is one database plus the loop machinery driven cycle by cycle.
-type tuningLoop struct {
-	db       *engine.DB
-	adv      *core.Advisor
-	detector *regression.Detector
-	sample   func(*rand.Rand) string
-	r        *rand.Rand
-	gate     shadow.Gate
-
-	adoptions           int
-	applyFailures       int
-	degradedValidations int
-	reverted            int
-}
-
 // newTuningLoop builds the fixture: one table, a read workload whose hot
 // filter column is unindexed, so the fault-free advisor converges on a
-// stable one-index recommendation set.
-func newTuningLoop(opts FaultSuiteOptions) *tuningLoop {
+// stable one-index recommendation set. The loop runs with the default
+// policy (no cooldown, no unused-drop retirement, no maintenance guard),
+// which is the original fault-suite behavior.
+func newTuningLoop(opts FaultSuiteOptions) *Loop {
 	db := engine.New("faults")
 	if opts.Obs != nil {
 		db.SetObs(opts.Obs)
@@ -122,67 +107,19 @@ func newTuningLoop(opts FaultSuiteOptions) *tuningLoop {
 	db.Analyze()
 	cfg := core.DefaultConfig()
 	cfg.Selection.MinExecutions = 1
-	return &tuningLoop{
-		db:       db,
-		adv:      core.NewAdvisor(db, cfg),
-		detector: regression.NewDetector(0.5),
-		sample: func(r *rand.Rand) string {
+	return &Loop{
+		DB:       db,
+		Adv:      core.NewAdvisor(db, cfg),
+		Detector: regression.NewDetector(0.5),
+		Sample: func(_ int, r *rand.Rand) string {
 			if r.Intn(4) == 0 {
 				return fmt.Sprintf("SELECT id FROM events WHERE kind = %d AND score > %d", r.Intn(8), r.Intn(900))
 			}
 			return fmt.Sprintf("SELECT score FROM events WHERE user_id = %d", r.Intn(150))
 		},
-		r:    r,
-		gate: shadow.DefaultGate(),
+		R:    r,
+		Gate: shadow.DefaultGate(),
 	}
-}
-
-// runCycle drives one tuning cycle: replay a workload window, recommend,
-// gate through shadow validation, apply only on acceptance, then run the
-// regression detector and revert what it flags. Every failure path
-// degrades to "no change this cycle".
-func (l *tuningLoop) runCycle(windowStatements int) (adopted []*catalog.Index, err error) {
-	mon := workload.NewMonitor()
-	for i := 0; i < windowStatements; i++ {
-		sql := l.sample(l.r)
-		res, err := l.db.Exec(sql)
-		if err != nil {
-			continue
-		}
-		mon.Record(sql, res.Stats)
-	}
-
-	rec, err := l.adv.Recommend(mon)
-	if err != nil {
-		return nil, fmt.Errorf("recommend: %v", err)
-	}
-	if len(rec.Create) > 0 {
-		report, err := shadow.Validate(l.db, rec.Create, mon, l.gate)
-		if err != nil {
-			return nil, fmt.Errorf("validate: %v", err)
-		}
-		if report.Accepted && report.Degraded {
-			return nil, fmt.Errorf("degraded verdict accepted: %s", report.Reason)
-		}
-		if report.Degraded {
-			l.degradedValidations++
-		}
-		if report.Accepted {
-			if _, err := l.adv.Apply(rec); err != nil {
-				// CreateIndexes rolled the batch back; the cycle ends with
-				// the catalog unchanged and a later cycle re-validates.
-				l.applyFailures++
-			} else {
-				l.adoptions++
-				adopted = rec.Create
-			}
-		}
-	}
-
-	if regs := l.detector.Observe(l.db, mon); len(regs) > 0 {
-		l.reverted += len(regression.Revert(l.db, regs))
-	}
-	return adopted, nil
 }
 
 // automationIndexKeys returns the sorted catalog keys of non-DBA,
@@ -251,11 +188,11 @@ func RunFaultSuite(opts FaultSuiteOptions) (*FaultSuiteResult, error) {
 	// Reference: the recommendation set a fault-free loop converges to.
 	ref := newTuningLoop(opts)
 	for i := 0; i < opts.DrainCycles; i++ {
-		if _, err := ref.runCycle(opts.WindowStatements); err != nil {
+		if _, err := ref.RunCycle(opts.WindowStatements); err != nil {
 			return nil, fmt.Errorf("reference cycle %d: %v", i, err)
 		}
 	}
-	out := &FaultSuiteResult{ReferenceKeys: automationIndexKeys(ref.db)}
+	out := &FaultSuiteResult{ReferenceKeys: automationIndexKeys(ref.DB)}
 	if len(out.ReferenceKeys) == 0 {
 		return nil, fmt.Errorf("faults: reference run adopted no indexes; fixture is not exercising the loop")
 	}
@@ -268,11 +205,11 @@ func RunFaultSuite(opts FaultSuiteOptions) (*FaultSuiteResult, error) {
 		loop := newTuningLoop(opts)
 		failpoint.Activate(fp)
 		for i := 0; i < opts.Cycles; i++ {
-			if _, err := loop.runCycle(opts.WindowStatements); err != nil {
+			if _, err := loop.RunCycle(opts.WindowStatements); err != nil {
 				failpoint.Activate(nil)
 				return nil, fmt.Errorf("rate %g cycle %d: %v", rate, i, err)
 			}
-			if err := checkLoopInvariants(loop.db); err != nil {
+			if err := checkLoopInvariants(loop.DB); err != nil {
 				failpoint.Activate(nil)
 				return nil, fmt.Errorf("rate %g cycle %d: %v", rate, i, err)
 			}
@@ -280,10 +217,10 @@ func RunFaultSuite(opts FaultSuiteOptions) (*FaultSuiteResult, error) {
 		failpoint.Activate(nil)
 		// Faults stop; the loop must converge to the reference set.
 		for i := 0; i < opts.DrainCycles; i++ {
-			if _, err := loop.runCycle(opts.WindowStatements); err != nil {
+			if _, err := loop.RunCycle(opts.WindowStatements); err != nil {
 				return nil, fmt.Errorf("rate %g drain cycle %d: %v", rate, i, err)
 			}
-			if err := checkLoopInvariants(loop.db); err != nil {
+			if err := checkLoopInvariants(loop.DB); err != nil {
 				return nil, fmt.Errorf("rate %g drain cycle %d: %v", rate, i, err)
 			}
 		}
@@ -291,11 +228,11 @@ func RunFaultSuite(opts FaultSuiteOptions) (*FaultSuiteResult, error) {
 			Rate:                rate,
 			Cycles:              opts.Cycles,
 			FaultsInjected:      fp.InjectedTotal(),
-			Adoptions:           loop.adoptions,
-			ApplyFailures:       loop.applyFailures,
-			DegradedValidations: loop.degradedValidations,
-			Reverted:            loop.reverted,
-			FinalIndexKeys:      automationIndexKeys(loop.db),
+			Adoptions:           loop.Adoptions,
+			ApplyFailures:       loop.ApplyFailures,
+			DegradedValidations: loop.DegradedValidations,
+			Reverted:            loop.Reverted,
+			FinalIndexKeys:      automationIndexKeys(loop.DB),
 		})
 	}
 	return out, nil

@@ -28,6 +28,20 @@ const DefaultMaxBaselineAge = 4
 type baseline struct {
 	cpu float64
 	age int
+	// ref and streak implement the confirmation hysteresis: while a
+	// suspected regression is confirming, ref pins the pre-regression
+	// cpu_avg and streak counts the consecutive windows above threshold.
+	ref    float64
+	streak int
+	// anchor and anchorAge implement slow-drift detection: anchor is a
+	// long-horizon baseline refreshed every AnchorWindows windows, so a
+	// query whose cost creeps a few percent per window is still compared
+	// against where it was many windows ago. anchorStreak counts consecutive
+	// windows above the anchor threshold — like ref/streak, a single noisy
+	// window must not fire the drift check when confirmation is required.
+	anchor       float64
+	anchorAge    int
+	anchorStreak int
 }
 
 // Detector compares consecutive observation windows.
@@ -44,9 +58,33 @@ type Detector struct {
 	// bound, ancient baselines would flag long-changed queries forever.
 	// 0 selects DefaultMaxBaselineAge.
 	MaxBaselineAge int
+	// ConfirmWindows requires a regression to persist for this many
+	// consecutive windows — against the pinned pre-regression baseline, not
+	// window-over-window — before it is reported. A workload alternating
+	// just above and below the threshold then never confirms, so a noisy
+	// boundary query cannot drive adopt/revert oscillation, while a genuine
+	// step change still confirms (one window later per extra confirmation).
+	// 0 or 1 reports on the first exceeding window (the original behavior).
+	ConfirmWindows int
+	// AnchorWindows, when positive, adds slow-drift detection: each query
+	// keeps an anchor baseline refreshed every AnchorWindows windows, and a
+	// query whose cpu_avg exceeds the anchor by Threshold is flagged even
+	// when no single window-over-window step did. 0 disables the check, and
+	// a predicate drifting a few percent per window evades detection.
+	AnchorWindows int
+	// RevertCooldown suppresses a just-reverted index for this many windows:
+	// InCooldown reports true (so the loop can decline to re-adopt it) and
+	// the detector stops naming it a suspect. Each further revert of the
+	// same key doubles the suppression, bounding the adopt/revert flips of
+	// any one index to O(log windows). 0 disables suppression.
+	RevertCooldown int
 
-	mu   sync.Mutex          // guards prev: Observe vs. telemetry Baselines
+	mu   sync.Mutex          // guards prev/cooldown: Observe vs. telemetry Baselines
 	prev map[string]baseline // normalized query -> last known cpu_avg
+	// cooldown maps index key -> remaining suppression windows; penalty
+	// remembers the next suppression length (doubled on every revert).
+	cooldown map[string]int
+	penalty  map[string]int
 }
 
 // NewDetector returns a detector with the given regression threshold.
@@ -56,6 +94,8 @@ func NewDetector(threshold float64) *Detector {
 		MinExecutions:  3,
 		MaxBaselineAge: DefaultMaxBaselineAge,
 		prev:           map[string]baseline{},
+		cooldown:       map[string]int{},
+		penalty:        map[string]int{},
 	}
 }
 
@@ -64,6 +104,42 @@ func (d *Detector) maxAge() int {
 		return d.MaxBaselineAge
 	}
 	return DefaultMaxBaselineAge
+}
+
+func (d *Detector) confirm() int {
+	if d.ConfirmWindows > 1 {
+		return d.ConfirmWindows
+	}
+	return 1
+}
+
+// NoteReverted starts (or escalates) the revert cooldown for the given index
+// keys. A no-op when RevertCooldown is 0.
+func (d *Detector) NoteReverted(keys ...string) {
+	if d.RevertCooldown <= 0 || len(keys) == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cooldown == nil {
+		d.cooldown = map[string]int{}
+		d.penalty = map[string]int{}
+	}
+	for _, k := range keys {
+		p := d.penalty[k]
+		if p <= 0 {
+			p = d.RevertCooldown
+		}
+		d.cooldown[k] = p
+		d.penalty[k] = p * 2
+	}
+}
+
+// InCooldown reports whether the index key is inside its revert cooldown.
+func (d *Detector) InCooldown(key string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cooldown[key] > 0
 }
 
 // Regression describes one detected per-query regression.
@@ -77,6 +153,11 @@ type Regression struct {
 	// SuspectIndexes are automation-created indexes used by the query's
 	// current plan — the candidates to revert.
 	SuspectIndexes []*catalog.Index
+	// ReasonCode classifies the revert motive for the audit journal:
+	// "query_regressed" (the default when empty), "maintenance_regression"
+	// (write amplification outweighing read gain, ObserveMaintenance) or
+	// "unused_index" (retired by the loop's unused-drop policy).
+	ReasonCode string
 }
 
 // Change is the relative cpu_avg increase.
@@ -122,26 +203,82 @@ func (d *Detector) Observe(db *engine.DB, mon *workload.Monitor) []*Regression {
 			continue
 		}
 		cpu := q.CPUAvg()
-		cur[q.Normalized] = baseline{cpu: cpu}
 		prev, seen := d.prev[q.Normalized]
+		nb := baseline{cpu: cpu}
+		// Slow-drift anchor bookkeeping: carry the anchor until it ages out,
+		// then re-anchor at the current level.
+		if d.AnchorWindows > 0 {
+			if !seen || prev.anchor <= 0 {
+				nb.anchor = cpu
+			} else {
+				nb.anchor, nb.anchorAge = prev.anchor, prev.anchorAge+1
+				// Refresh is postponed while a drift suspicion is confirming:
+				// re-anchoring mid-streak would reset the comparison base to
+				// the already-elevated level and hide the creep.
+				if nb.anchorAge >= d.AnchorWindows && prev.anchorStreak == 0 {
+					nb.anchor, nb.anchorAge = cpu, 0
+				}
+			}
+		}
 		if !seen || prev.cpu <= 0 {
+			cur[q.Normalized] = nb
 			continue
 		}
-		if (cpu-prev.cpu)/prev.cpu <= d.Threshold {
+		// Window-over-window check with confirmation hysteresis: while a
+		// streak is confirming, compare against the pinned pre-regression
+		// reference, not the already-elevated previous window.
+		ref := prev.cpu
+		if prev.streak > 0 && prev.ref > 0 {
+			ref = prev.ref
+		}
+		flagged := false
+		before, baseAge := ref, prev.age
+		if ref > 0 && (cpu-ref)/ref > d.Threshold {
+			nb.streak, nb.ref = prev.streak+1, ref
+			if nb.streak >= d.confirm() {
+				flagged = true
+				nb.streak, nb.ref = 0, 0
+				// Re-anchor so the same elevation is not re-flagged against
+				// the stale anchor every following window.
+				if d.AnchorWindows > 0 {
+					nb.anchor, nb.anchorAge = cpu, 0
+				}
+			}
+		}
+		// Slow drift: the cumulative creep since the anchor exceeds the
+		// threshold even though no single step did. Like the step check, it
+		// must persist for ConfirmWindows consecutive windows — cumulative
+		// creep does, an isolated noisy window does not.
+		if !flagged && d.AnchorWindows > 0 && prev.anchor > 0 &&
+			(cpu-prev.anchor)/prev.anchor > d.Threshold {
+			nb.anchorStreak = prev.anchorStreak + 1
+			if nb.anchorStreak >= d.confirm() {
+				flagged = true
+				before, baseAge = prev.anchor, prev.anchorAge
+				nb.anchor, nb.anchorAge, nb.anchorStreak = cpu, 0, 0
+				nb.streak, nb.ref = 0, 0
+			}
+		}
+		cur[q.Normalized] = nb
+		if !flagged {
 			continue
 		}
 		r := &Regression{
 			Normalized:  q.Normalized,
-			BeforeCPU:   prev.cpu,
+			BeforeCPU:   before,
 			AfterCPU:    cpu,
-			BaselineAge: prev.age,
+			BaselineAge: baseAge,
 		}
 		if sel, ok := q.Stmt.(*sqlparser.Select); ok {
 			if est, err := db.Optimizer.EstimateSelect(sel, nil); err == nil {
 				for _, u := range est.Used {
-					if u.Index != nil && u.Index.CreatedBy != "" && u.Index.CreatedBy != "dba" {
-						r.SuspectIndexes = append(r.SuspectIndexes, u.Index)
+					if u.Index == nil || u.Index.CreatedBy == "" || u.Index.CreatedBy == "dba" {
+						continue
 					}
+					if d.cooldown[u.Index.Key()] > 0 {
+						continue // just reverted; do not thrash it again
+					}
+					r.SuspectIndexes = append(r.SuspectIndexes, u.Index)
 				}
 			}
 		}
@@ -156,13 +293,26 @@ func (d *Detector) Observe(db *engine.DB, mon *workload.Monitor) []*Regression {
 		if b.age+1 > d.maxAge() {
 			continue
 		}
-		cur[k] = baseline{cpu: b.cpu, age: b.age + 1}
+		nb := b
+		nb.age++
+		cur[k] = nb
 		reg.Counter("regression.baselines_carried").Inc()
+	}
+	// One Observe call ends one window: tick the revert cooldowns down.
+	for k := range d.cooldown {
+		if d.cooldown[k]--; d.cooldown[k] <= 0 {
+			delete(d.cooldown, k)
+		}
 	}
 	d.prev = cur
 	reg.Gauge("regression.baselines").Set(int64(len(cur)))
 	reg.Counter("regression.flagged").Add(int64(len(found)))
-	sort.Slice(found, func(i, j int) bool { return found[i].Change() > found[j].Change() })
+	sort.Slice(found, func(i, j int) bool {
+		if ci, cj := found[i].Change(), found[j].Change(); ci != cj {
+			return ci > cj
+		}
+		return found[i].Normalized < found[j].Normalized
+	})
 	return found
 }
 
@@ -203,10 +353,25 @@ var revertPolicy = failpoint.Policy{Attempts: 5, Base: time.Millisecond, Max: 16
 // regression keeps flagging it, so the revert is re-attempted until it
 // lands.
 func Revert(db *engine.DB, regs []*Regression) []string {
+	names, _ := revert(db, regs)
+	return names
+}
+
+// Revert is the detector-aware variant of the package-level Revert: it drops
+// the suspects identically and additionally registers every dropped index
+// with the revert cooldown, so the loop's next cycles neither re-suspect nor
+// re-adopt it until the cooldown expires. It returns the dropped indexes'
+// canonical catalog keys.
+func (d *Detector) Revert(db *engine.DB, regs []*Regression) []string {
+	_, keys := revert(db, regs)
+	d.NoteReverted(keys...)
+	return keys
+}
+
+func revert(db *engine.DB, regs []*Regression) (names, keys []string) {
 	span := db.ObsRegistry().StartSpan("regression/revert")
 	defer span.End()
 	jrn := db.AuditJournal()
-	var dropped []string
 	failures := 0
 	seen := map[string]bool{}
 	for _, r := range regs {
@@ -232,15 +397,20 @@ func Revert(db *engine.DB, regs []*Regression) []string {
 				failures++
 				continue
 			}
-			dropped = append(dropped, name)
+			names = append(names, name)
+			keys = append(keys, ix.Key())
 			if jrn != nil {
+				reason := r.ReasonCode
+				if reason == "" {
+					reason = "query_regressed"
+				}
 				jrn.Append(&audit.Record{
 					Event:      audit.EventRevert,
 					SpanID:     span.ID(),
 					IndexKey:   ix.Key(),
 					Index:      ix.Name,
 					Table:      ix.Table,
-					ReasonCode: "query_regressed",
+					ReasonCode: reason,
 					Query:      r.Normalized,
 					BeforeCPU:  r.BeforeCPU,
 					AfterCPU:   r.AfterCPU,
@@ -254,9 +424,9 @@ func Revert(db *engine.DB, regs []*Regression) []string {
 			failpoint.CountDegraded()
 		}
 	}
-	if len(dropped) > 0 {
-		db.ObsRegistry().Counter("regression.reverted_indexes").Add(int64(len(dropped)))
+	if len(names) > 0 {
+		db.ObsRegistry().Counter("regression.reverted_indexes").Add(int64(len(names)))
 		db.Analyze()
 	}
-	return dropped
+	return names, keys
 }

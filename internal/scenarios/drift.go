@@ -1,0 +1,108 @@
+package scenarios
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aim/internal/engine"
+	"aim/internal/sqltypes"
+)
+
+// Drift parameters.
+const (
+	driftStart = 24  // the predicate window starts widening here
+	driftBase  = 40  // initial BETWEEN width in days
+	driftSpan  = 400 // day domain
+	driftRows  = 1800
+)
+
+// Drift models a slowly drifting range predicate — the pattern that
+// invalidates an IPP range-column choice without ever tripping a
+// window-over-window detector. A dashboard query scans host metrics over a
+// day window; from driftStart the window widens ~12% per cycle (a retention
+// policy stops deleting, a default zoom level creeps out). Each cycle is
+// only marginally slower than the last, far under any per-window threshold,
+// but cumulatively the adopted (host, day) index degenerates toward a full
+// scan. Only the detector's long-horizon anchor can see the creep; the
+// scenario asserts it fires, that the revert record names the drifted query,
+// and that the escalating cooldown keeps the re-adopt/re-revert cycle to a
+// handful of flips.
+type Drift struct{}
+
+// NewDrift returns a fresh generator.
+func NewDrift() *Drift { return &Drift{} }
+
+// Name implements Scenario.
+func (d *Drift) Name() string { return "drift" }
+
+// Description implements Scenario.
+func (d *Drift) Description() string {
+	return "range predicate widens 12%/cycle from cycle 24; only the anchor baseline catches the creep"
+}
+
+// Profile implements Scenario.
+func (d *Drift) Profile() Profile {
+	return Profile{
+		Cycles:           160,
+		ReducedCycles:    48,
+		WindowStatements: 40,
+		TrapCycle:        driftStart,
+		ConfirmWindows:   2,
+		AnchorWindows:    8,
+		RevertCooldown:   8,
+		MaxFlipsPerKey:   4,
+		RequireAdoption:  true,
+		RequireRevert:    true,
+		RevertWithin:     16,
+	}
+}
+
+// Setup implements Scenario: one metrics table, 1800 rows.
+func (d *Drift) Setup(r *rand.Rand) (*engine.DB, error) {
+	db := engine.New("drift")
+	db.MustExec(`CREATE TABLE metrics (id INT, host INT, day INT, val INT, PRIMARY KEY (id))`)
+	var batch []sqltypes.Row
+	for i := 0; i < driftRows; i++ {
+		batch = append(batch, sqltypes.Row{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewInt(int64(r.Intn(30))),
+			sqltypes.NewInt(int64(r.Intn(driftSpan))),
+			sqltypes.NewInt(int64(r.Intn(1000))),
+		})
+	}
+	if err := db.InsertRows("metrics", batch); err != nil {
+		return nil, fmt.Errorf("drift: %v", err)
+	}
+	db.Analyze()
+	return db, nil
+}
+
+// Advance implements Scenario (the drift lives in the predicate width).
+func (d *Drift) Advance(*engine.DB, int, *rand.Rand) error { return nil }
+
+// driftWidth is the BETWEEN width at the given cycle: driftBase before the
+// trap, then +12% per cycle in exact integer arithmetic (floating-point
+// growth could round differently across platforms), capped just under the
+// full domain.
+func driftWidth(cycle int) int {
+	w := driftBase
+	for c := driftStart; c < cycle; c++ {
+		w = w * 112 / 100
+		if w >= driftSpan-5 {
+			return driftSpan - 5
+		}
+	}
+	return w
+}
+
+// Statement implements Scenario.
+func (d *Drift) Statement(cycle int, r *rand.Rand) string {
+	host := r.Intn(30)
+	if r.Intn(7) == 0 { // steady point lookups share the index
+		return fmt.Sprintf("SELECT val FROM metrics WHERE host = %d AND day = %d", host, r.Intn(driftSpan))
+	}
+	w := driftWidth(cycle)
+	lo := r.Intn(driftSpan - w)
+	return fmt.Sprintf("SELECT id, val FROM metrics WHERE host = %d AND day BETWEEN %d AND %d",
+		host, lo, lo+w)
+}

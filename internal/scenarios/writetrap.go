@@ -1,0 +1,100 @@
+package scenarios
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aim/internal/engine"
+	"aim/internal/sqltypes"
+)
+
+// Write-trap parameters.
+const (
+	trapCycle = 20 // the mix flips write-heavy here
+	trapRows  = 1200
+	trapKinds = 6
+)
+
+// WriteTrap models write amplification that per-query detection is
+// structurally blind to. A read phase earns the loop two indexes: a per
+// account lookup index and a (kind, amt) index for threshold scans. At
+// trapCycle the workload becomes a repricing job — 80% bulk
+// `UPDATE ledger SET amt = ? WHERE kind = ?`, each rewriting ~200 rows'
+// entries in every index containing amt. The trap: the first write-heavy
+// window *establishes* the UPDATE's baseline with the index cost already
+// included, so no window-over-window comparison ever regresses; only the
+// maintenance-economics guard (re-running adoption math on observed DML) can
+// flag it. It must revert exactly the amt-bearing index: ledger(acct)
+// contains no updated column, costs the job nothing, and must survive.
+type WriteTrap struct{}
+
+// NewWriteTrap returns a fresh generator.
+func NewWriteTrap() *WriteTrap { return &WriteTrap{} }
+
+// Name implements Scenario.
+func (w *WriteTrap) Name() string { return "writetrap" }
+
+// Description implements Scenario.
+func (w *WriteTrap) Description() string {
+	return "mix flips to bulk repricing updates at cycle 20; maintenance guard must shed exactly the amt index"
+}
+
+// Profile implements Scenario.
+func (w *WriteTrap) Profile() Profile {
+	return Profile{
+		Cycles:           160,
+		ReducedCycles:    36,
+		WindowStatements: 40,
+		TrapCycle:        trapCycle,
+		RevertCooldown:   8,
+		MaintenanceGuard: true,
+		MaxFlipsPerKey:   2,
+		RequireAdoption:  true,
+		RequireRevert:    true,
+		RevertWithin:     6,
+		FinalContains:    []string{"ledger(acct)"},
+		FinalExcludes:    []string{"ledger(kind,amt)"},
+	}
+}
+
+// Setup implements Scenario: one ledger table, 1200 rows.
+func (w *WriteTrap) Setup(r *rand.Rand) (*engine.DB, error) {
+	db := engine.New("writetrap")
+	db.MustExec(`CREATE TABLE ledger (id INT, acct INT, kind INT, amt INT, PRIMARY KEY (id))`)
+	var batch []sqltypes.Row
+	for i := 0; i < trapRows; i++ {
+		batch = append(batch, sqltypes.Row{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewInt(int64(r.Intn(100))),
+			sqltypes.NewInt(int64(r.Intn(trapKinds))),
+			sqltypes.NewInt(int64(r.Intn(10000))),
+		})
+	}
+	if err := db.InsertRows("ledger", batch); err != nil {
+		return nil, fmt.Errorf("writetrap: %v", err)
+	}
+	db.Analyze()
+	return db, nil
+}
+
+// Advance implements Scenario (the trap lives in the statement mix).
+func (w *WriteTrap) Advance(*engine.DB, int, *rand.Rand) error { return nil }
+
+func (w *WriteTrap) read(r *rand.Rand) string {
+	if r.Intn(2) == 0 {
+		return fmt.Sprintf("SELECT id FROM ledger WHERE acct = %d", r.Intn(100))
+	}
+	return fmt.Sprintf("SELECT id, amt FROM ledger WHERE kind = %d AND amt > %d",
+		r.Intn(trapKinds), 8000+r.Intn(1500))
+}
+
+// Statement implements Scenario.
+func (w *WriteTrap) Statement(cycle int, r *rand.Rand) string {
+	if cycle >= trapCycle && r.Float64() < 0.8 {
+		// The repricing job: every execution rewrites ~rows/kinds entries of
+		// every index containing amt.
+		return fmt.Sprintf("UPDATE ledger SET amt = %d WHERE kind = %d",
+			r.Intn(10000), r.Intn(trapKinds))
+	}
+	return w.read(r)
+}

@@ -38,6 +38,14 @@ type Gate struct {
 	Lambda2 float64
 	// Lambda3 is the maximum tolerated per-query regression (Eq. 4).
 	Lambda3 float64
+	// MinRegressCPU is an absolute noise floor under the λ₃ check: a query
+	// whose per-execution CPU grew by less than this many seconds is not
+	// counted as regressed even when the relative change exceeds λ₃. Cheap
+	// statements (a single-row INSERT costs a few microseconds) otherwise
+	// veto every first index on their table, because fixed per-index
+	// maintenance is huge *relative* to their cost while being irrelevant in
+	// absolute terms. 0 disables the floor (pure-λ₃ semantics).
+	MinRegressCPU float64
 	// MaxReplays caps how many parameter samples are replayed per query
 	// (0 = replay every sample). Fewer samples may be available; the actual
 	// count lands in QueryOutcome.Replays.
@@ -46,7 +54,7 @@ type Gate struct {
 
 // DefaultGate uses mild thresholds suitable for the synthetic workloads.
 func DefaultGate() Gate {
-	return Gate{Lambda1: 0.1, Lambda2: 0.05, Lambda3: 0.25, MaxReplays: 3}
+	return Gate{Lambda1: 0.1, Lambda2: 0.05, Lambda3: 0.25, MinRegressCPU: 50e-6, MaxReplays: 3}
 }
 
 // Retry policies for the two fallible phases. Package variables so the
@@ -269,9 +277,11 @@ func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor,
 		return verdict(rep)
 	}
 
-	// Eq. 4: no individual regression beyond λ₃.
+	// Eq. 4: no individual regression beyond λ₃ (ignoring absolute deltas
+	// under the MinRegressCPU noise floor).
 	for _, out := range rep.Outcomes {
-		if out.BeforeCPU > 0 && out.Change() > gate.Lambda3 {
+		if out.BeforeCPU > 0 && out.Change() > gate.Lambda3 &&
+			out.AfterCPU-out.BeforeCPU >= gate.MinRegressCPU {
 			rep.Code = CodeQueryRegressed
 			rep.Reason = fmt.Sprintf("query regressed %.1f%% > λ₃: %s", out.Change()*100, out.Normalized)
 			return verdict(rep)

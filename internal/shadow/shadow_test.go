@@ -97,6 +97,7 @@ func TestValidateGateRegressionBound(t *testing.T) {
 	}
 	gate := DefaultGate()
 	gate.Lambda3 = 0.0001
+	gate.MinRegressCPU = 0 // pure-λ₃ semantics: no absolute noise floor
 	idx := &catalog.Index{Name: "aim_t_a", Table: "t", Columns: []string{"a"}, Hypothetical: true}
 	rep, err := Validate(db, []*catalog.Index{idx}, mon, gate)
 	if err != nil {
