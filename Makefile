@@ -8,10 +8,10 @@ FUZZTIME ?= 30s
 # counting noise while still catching real coverage regressions.
 COVER_BASELINE ?= 76.5
 
-.PHONY: check vet build test race benchsmoke metricssmoke telemetrysmoke benchstorage benchstoragesmoke bench fuzzsmoke faultsuite scenariosuite cover clean
+.PHONY: check vet build test race benchsmoke metricssmoke telemetrysmoke benchstorage benchstoragesmoke benchexec benchexecsmoke bench fuzzsmoke faultsuite scenariosuite cover clean
 
 # check is the tier-1 gate: everything here must pass before a change lands.
-check: vet build race benchsmoke metricssmoke telemetrysmoke benchstoragesmoke
+check: vet build race benchsmoke metricssmoke telemetrysmoke benchstoragesmoke benchexecsmoke
 
 vet:
 	$(GO) vet ./...
@@ -55,6 +55,7 @@ fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzDNFSemanticEquivalence$$' -fuzztime $(FUZZTIME) ./internal/queryinfo/
 	$(GO) test -run '^$$' -fuzz 'FuzzFailpointSpec$$' -fuzztime $(FUZZTIME) ./internal/failpoint/
 	$(GO) test -run '^$$' -fuzz 'FuzzScenarioDeterminism$$' -fuzztime $(FUZZTIME) ./internal/scenarios/
+	$(GO) test -run '^$$' -fuzz 'FuzzExecScanOracle$$' -fuzztime $(FUZZTIME) ./internal/exec/
 
 # The fault-injection acceptance sweep: 1000 tuning cycles at fault rates
 # {1%, 5%, 20%} with a fixed seed, asserting no ungated adoptions, no
@@ -92,6 +93,18 @@ benchstorage:
 # bulk clone/build paths end to end.
 benchstoragesmoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkStoreClone$$|BenchmarkBuildIndex$$' -benchtime 1x ./internal/storage/
+
+# Replay/serving executor benchmark: row engine vs vectorized batch engine on
+# a 100k-row products workload, with a statement-level parity gate before any
+# timing. Writes BENCH_exec.json at the repo root and fails under 2x speedup.
+# Wall-clock sensitive, so the report run is env-gated.
+benchexec:
+	AIM_BENCH_EXEC=1 $(GO) test -run TestBenchExecReport -v ./internal/experiments/
+
+# Scaled-down exec benchmark (2k rows, 8+2 statements) — runs the full
+# parity-gate + measure pipeline in a few seconds for `make check`.
+benchexecsmoke:
+	$(GO) test -run TestExecBenchSmoke -v ./internal/experiments/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 3x .

@@ -553,7 +553,10 @@ func (t *Tree) Seek(from []byte) *Iter {
 }
 
 // SeekRange returns an iterator over keys in [from, to). A nil bound is
-// unbounded on that side. toInclusive makes the upper bound inclusive.
+// unbounded on that side. toInclusive makes the upper bound prefix-inclusive:
+// keys equal to the bound or extending it byte-wise stay in range, so a
+// composite-key tree can be scanned for "leading columns <= v" by passing the
+// encoded v without manufacturing an artificial successor key.
 func (t *Tree) SeekRange(from, to []byte, toInclusive bool) *Iter {
 	it := t.Seek(from)
 	it.hi = to
@@ -579,10 +582,21 @@ func (it *Iter) checkBound() {
 	if !it.valid || it.hi == nil {
 		return
 	}
-	c := bytes.Compare(it.l.keys[it.i], it.hi)
-	if c > 0 || (c == 0 && !it.hiInclusive) {
+	if !it.inBound(it.l.keys[it.i]) {
 		it.valid = false
 	}
+}
+
+// inBound reports whether key is inside the iterator's upper bound. The
+// admitted key set is always a contiguous range downward-closed in key order:
+// exclusive bounds admit key < hi, prefix-inclusive bounds additionally admit
+// hi itself and every key extending it.
+func (it *Iter) inBound(key []byte) bool {
+	c := bytes.Compare(key, it.hi)
+	if it.hiInclusive {
+		return c <= 0 || bytes.HasPrefix(key, it.hi)
+	}
+	return c < 0
 }
 
 // Valid reports whether the iterator is positioned on an entry.
@@ -596,6 +610,50 @@ func (it *Iter) Value() interface{} { return it.l.vals[it.i] }
 
 // Next advances to the next entry.
 func (it *Iter) Next() { it.advance() }
+
+// ReadBatch copies up to max entries into vals (and keys, when non-nil) and
+// advances past them, returning the number copied. It visits exactly the same
+// entry sequence and walks exactly the same leaves as a Valid/Next loop —
+// including the eager step into the next leaf after consuming a leaf's last
+// entry — so LeavesWalked-based I/O accounting is identical either way. The
+// fast path span-copies a whole leaf remainder with a single bound check on
+// its last key, which is sound because the bound admits a downward-closed key
+// range (see inBound).
+func (it *Iter) ReadBatch(keys [][]byte, vals []interface{}, max int) int {
+	n := 0
+	for it.valid && n < max {
+		l, i := it.l, it.i
+		take := len(l.keys) - i
+		if take > max-n {
+			take = max - n
+		}
+		if it.hi != nil && !it.inBound(l.keys[i+take-1]) {
+			// The span crosses the bound: copy the in-bound head and stop on
+			// the first out-of-bound entry, like checkBound would.
+			cut := 0
+			for cut < take && it.inBound(l.keys[i+cut]) {
+				cut++
+			}
+			copy(vals[n:], l.vals[i:i+cut])
+			if keys != nil {
+				copy(keys[n:], l.keys[i:i+cut])
+			}
+			it.i = i + cut
+			it.valid = false
+			return n + cut
+		}
+		copy(vals[n:], l.vals[i:i+take])
+		if keys != nil {
+			copy(keys[n:], l.keys[i:i+take])
+		}
+		n += take
+		// Reposition on the last consumed entry and advance off it, so leaf
+		// stepping and bound invalidation mirror per-entry iteration.
+		it.i = i + take - 1
+		it.advance()
+	}
+	return n
+}
 
 // LeavesWalked returns how many leaf pages the iterator has touched, for
 // I/O accounting.

@@ -257,3 +257,111 @@ func BenchmarkRangeScan100(b *testing.B) {
 		}
 	}
 }
+
+// TestSeekRangePrefixInclusive pins the prefix-inclusive upper-bound
+// semantics: an inclusive bound admits keys equal to it AND keys extending it
+// byte-wise, which is how composite-index scans express "leading columns <= v"
+// without appending an artificial successor byte.
+func TestSeekRangePrefixInclusive(t *testing.T) {
+	tr := New()
+	// Composite-style keys: a short prefix followed by a suffix.
+	put := func(s string) { tr.Put([]byte(s), s) }
+	for _, s := range []string{"a|1", "a|2", "b|1", "b|2", "b|3", "c|1"} {
+		put(s)
+	}
+	collect := func(from, to string, inc bool) []string {
+		var got []string
+		var f, h []byte
+		if from != "" {
+			f = []byte(from)
+		}
+		if to != "" {
+			h = []byte(to)
+		}
+		for it := tr.SeekRange(f, h, inc); it.Valid(); it.Next() {
+			got = append(got, it.Value().(string))
+		}
+		return got
+	}
+	// Inclusive bound "b" admits every key with prefix "b".
+	got := collect("", "b", true)
+	want := []string{"a|1", "a|2", "b|1", "b|2", "b|3"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("prefix-inclusive got %v want %v", got, want)
+	}
+	// Exclusive bound "b" stops before the first "b"-prefixed key.
+	got = collect("", "b", false)
+	want = []string{"a|1", "a|2"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("exclusive got %v want %v", got, want)
+	}
+	// An exact-key inclusive bound still admits the key itself.
+	got = collect("b|2", "b|2", true)
+	want = []string{"b|2"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("exact inclusive got %v want %v", got, want)
+	}
+}
+
+// TestReadBatchMatchesIteration drives ReadBatch and a plain Valid/Next loop
+// over identical ranges and asserts the same entries in the same order AND
+// the same LeavesWalked accounting, across batch sizes that straddle leaf
+// boundaries.
+func TestReadBatchMatchesIteration(t *testing.T) {
+	tr := New()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), i)
+	}
+	ranges := []struct {
+		lo, hi int // -1 = nil bound
+		inc    bool
+	}{
+		{-1, -1, false},
+		{-1, 2500, false},
+		{100, 4900, false},
+		{100, 4900, true},
+		{2000, 2000, true},
+		{4999, -1, false},
+		{0, 1, false},
+	}
+	for _, bs := range []int{1, 3, 64, 1024, 8192} {
+		for _, rg := range ranges {
+			var lo, hi []byte
+			if rg.lo >= 0 {
+				lo = key(rg.lo)
+			}
+			if rg.hi >= 0 {
+				hi = key(rg.hi)
+			}
+			itA := tr.SeekRange(lo, hi, rg.inc)
+			var wantVals []int
+			for ; itA.Valid(); itA.Next() {
+				wantVals = append(wantVals, itA.Value().(int))
+			}
+			itB := tr.SeekRange(lo, hi, rg.inc)
+			keys := make([][]byte, bs)
+			vals := make([]interface{}, bs)
+			var gotVals []int
+			for {
+				m := itB.ReadBatch(keys, vals, bs)
+				if m == 0 {
+					break
+				}
+				for i := 0; i < m; i++ {
+					v := vals[i].(int)
+					if !bytes.Equal(keys[i], key(v)) {
+						t.Fatalf("batch key/val mismatch at %d", v)
+					}
+					gotVals = append(gotVals, v)
+				}
+			}
+			if fmt.Sprint(gotVals) != fmt.Sprint(wantVals) {
+				t.Fatalf("bs=%d range=%v: batch entries diverge (%d vs %d)", bs, rg, len(gotVals), len(wantVals))
+			}
+			if itA.LeavesWalked() != itB.LeavesWalked() {
+				t.Fatalf("bs=%d range=%v: LeavesWalked %d (batch) vs %d (loop)", bs, rg, itB.LeavesWalked(), itA.LeavesWalked())
+			}
+		}
+	}
+}

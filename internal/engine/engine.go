@@ -73,6 +73,12 @@ func (db *DB) ObsRegistry() *obs.Registry { return db.obs }
 // use.
 func (db *DB) SetAudit(j *audit.Journal) { db.audit = j }
 
+// SetRowOnlyExec forces (true) or lifts (false) tuple-at-a-time execution.
+// The default is the vectorized batch engine for eligible plans; differential
+// tests and benchmarks pin the row loop to compare the two engines. Clones
+// inherit the setting (see cloneFrom). Call before concurrent use.
+func (db *DB) SetRowOnlyExec(rowOnly bool) { db.executor.RowOnly = rowOnly }
+
 // AuditJournal returns the attached journal, or nil when journaling is off.
 // The advisor, the shadow validator and the regression detector reach the
 // journal through this; all of them tolerate nil.
@@ -507,6 +513,9 @@ func (db *DB) cloneFrom(name string, store *storage.Store) *DB {
 	out.Optimizer = optimizer.New(out.Schema, out)
 	out.WhatIf = costcache.NewCoster(out.Optimizer, costcache.DefaultCapacity)
 	out.executor = exec.New(out.Store)
+	// Shadow replay must execute exactly like production, so the engine
+	// selection travels with the clone.
+	out.executor.RowOnly = db.executor.RowOnly
 	if db.obs != nil {
 		out.SetObs(db.obs)
 	}

@@ -12,7 +12,7 @@ import (
 
 // fixture builds a store with orders(id, cust_id, status, amount) and
 // customers(id, city, tier), plus an index on orders(cust_id, status).
-func fixture(t *testing.T) (*storage.Store, *catalog.Schema) {
+func fixture(t testing.TB) (*storage.Store, *catalog.Schema) {
 	t.Helper()
 	schema := catalog.NewSchema()
 	orders, err := catalog.NewTable("orders", []catalog.Column{
@@ -77,7 +77,7 @@ func singleLayout(schema *catalog.Schema, table string) *Layout {
 	return NewLayout([]Instance{{Alias: table, Table: schema.Table(table)}})
 }
 
-func compileWhere(t *testing.T, l *Layout, where string) CompiledExpr {
+func compileWhere(t testing.TB, l *Layout, where string) CompiledExpr {
 	t.Helper()
 	stmt, err := sqlparser.Parse("SELECT * FROM x WHERE " + where)
 	if err != nil {
@@ -90,7 +90,7 @@ func compileWhere(t *testing.T, l *Layout, where string) CompiledExpr {
 	return ce
 }
 
-func colOutput(t *testing.T, l *Layout, refs ...string) []OutputSpec {
+func colOutput(t testing.TB, l *Layout, refs ...string) []OutputSpec {
 	t.Helper()
 	out := make([]OutputSpec, len(refs))
 	for i, r := range refs {

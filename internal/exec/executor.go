@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"aim/internal/sqltypes"
 	"aim/internal/storage"
@@ -15,7 +16,15 @@ var errStop = errors.New("exec: early stop")
 // Executor runs physical plans against a store.
 type Executor struct {
 	Store *storage.Store
-	m     *execMetrics // nil when observability is off
+	// RowOnly disables the vectorized batch engine, forcing every plan
+	// through the tuple-at-a-time row loop. The zero value (vectorized
+	// execution on) is the production configuration; differential tests and
+	// benchmarks flip it to pin the two engines against each other.
+	RowOnly bool
+	m       *execMetrics // nil when observability is off
+	// arenas recycles batch scratch buffers (row views, selection vectors,
+	// tri-state predicate lanes, decode slabs) across vectorized runs.
+	arenas sync.Pool
 }
 
 // New returns an executor over the store.
@@ -38,6 +47,15 @@ func (e *Executor) Run(p *Plan, columns []string) (*Result, error) {
 	rowTarget := int64(-1)
 	if !p.Grouped && !p.Distinct && p.Limit >= 0 && (len(p.OrderBy) == 0 || p.OrderSatisfied) {
 		rowTarget = p.Limit + p.Offset
+	}
+
+	// The batch engine covers single-step pipelines without an early-stop
+	// target. Join pipelines stay on the row loop (batching doesn't pay for
+	// the inner steps of an index nested-loop join), and early-stop plans
+	// must stop mid-scan at exactly the row the row loop would, which batch
+	// reads cannot do without breaking Stats parity.
+	if !e.RowOnly && rowTarget < 0 && len(p.Steps) == 1 {
+		return e.runVectorized(p, res)
 	}
 
 	var outRows []sqltypes.Row
@@ -73,8 +91,15 @@ func (e *Executor) Run(p *Plan, columns []string) (*Result, error) {
 		}
 	}
 
+	return e.finish(p, outRows, res)
+}
+
+// finish applies the shared result tail — DISTINCT, ORDER BY, LIMIT/OFFSET,
+// hidden-column trimming — and records stats. Both the row loop and the batch
+// engine end here, so the tail semantics are identical by construction.
+func (e *Executor) finish(p *Plan, outRows []sqltypes.Row, res *Result) (*Result, error) {
 	if p.Distinct {
-		outRows = distinctRows(outRows, &res.Stats)
+		outRows = distinctRows(outRows, p.HiddenTail, &res.Stats)
 	}
 	if len(p.OrderBy) > 0 && !p.OrderSatisfied {
 		res.Stats.SortRows += int64(len(outRows))
@@ -133,7 +158,7 @@ func (e *Executor) runSteps(p *Plan, depth int, env []sqltypes.Value, st *Stats,
 			}
 			prev = v
 			full := append(append([]sqltypes.Value(nil), prefix...), v)
-			lo, hi, hiInc := scanBounds(full, nil, env)
+			lo, hi, hiInc, _ := scanBounds(full, nil, env) // non-null prefix: never empty
 			var err error
 			if step.IndexName == "" {
 				err = e.scanClustered(p, depth, step, tbl, env, lo, hi, hiInc, st, onRow)
@@ -146,7 +171,10 @@ func (e *Executor) runSteps(p *Plan, depth int, env []sqltypes.Value, st *Stats,
 		}
 		return nil
 	}
-	lo, hi, hiInc := scanBounds(prefix, step.Range, env)
+	lo, hi, hiInc, empty := scanBounds(prefix, step.Range, env)
+	if empty {
+		return nil
+	}
 	if step.IndexName == "" {
 		return e.scanClustered(p, depth, step, tbl, env, lo, hi, hiInc, st, onRow)
 	}
@@ -154,35 +182,49 @@ func (e *Executor) runSteps(p *Plan, depth int, env []sqltypes.Value, st *Stats,
 }
 
 // scanBounds builds encoded byte bounds from the equality prefix and the
-// optional range on the following column.
-func scanBounds(prefix []sqltypes.Value, rng *RangeSpec, env []sqltypes.Value) (lo, hi []byte, hiInc bool) {
+// optional range on the following column. The returned hiInc is real: an
+// inclusive upper bound relies on the B+tree's prefix-inclusive bound
+// semantics (keys equal to hi or extending it stay in range), which admits
+// exactly the composite keys whose bounded columns match — no artificial
+// 0xFF successor byte is appended. empty marks a scan statically proven to
+// match nothing: a NULL range bound makes the comparison predicate NULL for
+// every row, so the caller skips the scan outright instead of walking keys
+// the residual filter would discard one by one.
+func scanBounds(prefix []sqltypes.Value, rng *RangeSpec, env []sqltypes.Value) (lo, hi []byte, hiInc, empty bool) {
 	base := sqltypes.EncodeKey(nil, prefix...)
 	if rng == nil {
 		if len(prefix) == 0 {
-			return nil, nil, false // full scan
+			return nil, nil, false, false // full scan
 		}
-		// Prefix-only: [base, base+0xFF)
-		hi = append(append([]byte(nil), base...), 0xFF)
-		return base, hi, false
+		// Prefix-only: every key extending base.
+		return base, base, true, false
 	}
 	lo = base
 	if rng.Lo != nil {
 		v := rng.Lo.Resolve(env)
+		if v.IsNull() {
+			return nil, nil, false, true
+		}
 		lo = sqltypes.EncodeKey(append([]byte(nil), base...), v)
 		if !rng.LoInc {
+			// Exclusive lower bound: skip every key extending lo. 0xFF sorts
+			// after any value-encoding continuation byte (tags are <= 0x02),
+			// so lo+0xFF lands past the last key whose bounded column equals
+			// the bound and before the next column value's first key.
 			lo = append(lo, 0xFF)
 		}
 	}
 	if rng.Hi != nil {
 		v := rng.Hi.Resolve(env)
-		hi = sqltypes.EncodeKey(append([]byte(nil), base...), v)
-		if rng.HiInc {
-			hi = append(hi, 0xFF)
+		if v.IsNull() {
+			return nil, nil, false, true
 		}
+		hi = sqltypes.EncodeKey(append([]byte(nil), base...), v)
+		hiInc = rng.HiInc
 	} else if len(base) > 0 {
-		hi = append(append([]byte(nil), base...), 0xFF)
+		hi, hiInc = base, true
 	}
-	return lo, hi, false
+	return lo, hi, hiInc, false
 }
 
 func (e *Executor) scanClustered(p *Plan, depth int, step *Step, tbl *storage.Table, env []sqltypes.Value, lo, hi []byte, hiInc bool, st *Stats, onRow func() error) error {
@@ -361,30 +403,9 @@ func (a *aggregator) absorb(env []sqltypes.Value) error {
 		}
 		keyBytes = sqltypes.EncodeKey(nil, keyVals...)
 	}
-	var gs *groupState
-	if a.stream {
-		if a.curState != nil && string(a.curKey) == string(keyBytes) {
-			gs = a.curState
-		} else {
-			if a.curState != nil {
-				row, err := a.emitGroup(a.curState)
-				if err != nil {
-					return err
-				}
-				a.flushed = append(a.flushed, row)
-			}
-			gs = a.newState(env)
-			a.curState = gs
-			a.curKey = append(a.curKey[:0], keyBytes...)
-		}
-	} else {
-		var ok bool
-		gs, ok = a.groups[string(keyBytes)]
-		if !ok {
-			gs = a.newState(env)
-			a.groups[string(keyBytes)] = gs
-			a.order = append(a.order, string(keyBytes))
-		}
+	gs, err := a.state(keyBytes, env)
+	if err != nil {
+		return err
 	}
 	for i, spec := range a.p.Aggs {
 		var v sqltypes.Value
@@ -398,25 +419,62 @@ func (a *aggregator) absorb(env []sqltypes.Value) error {
 				continue // aggregates skip NULLs
 			}
 		}
-		switch spec.Func {
-		case AggCount:
-			gs.counts[i]++
-		case AggSum, AggAvg:
-			gs.counts[i]++
-			gs.sums[i] += v.Float()
-		case AggMin:
-			if gs.counts[i] == 0 || sqltypes.Compare(v, gs.mins[i]) < 0 {
-				gs.mins[i] = v
-			}
-			gs.counts[i]++
-		case AggMax:
-			if gs.counts[i] == 0 || sqltypes.Compare(v, gs.maxs[i]) > 0 {
-				gs.maxs[i] = v
-			}
-			gs.counts[i]++
-		}
+		gs.add(i, spec.Func, &v)
 	}
 	return nil
+}
+
+// state returns the group state for the encoded key, creating it (and, in
+// streaming mode, flushing the previous group) on first sight. Both the
+// per-row absorb and the batch fast path route through here, so group
+// identity, insertion order and stream flushing have a single definition.
+func (a *aggregator) state(keyBytes []byte, env []sqltypes.Value) (*groupState, error) {
+	if a.stream {
+		if a.curState != nil && string(a.curKey) == string(keyBytes) {
+			return a.curState, nil
+		}
+		if a.curState != nil {
+			row, err := a.emitGroup(a.curState)
+			if err != nil {
+				return nil, err
+			}
+			a.flushed = append(a.flushed, row)
+		}
+		gs := a.newState(env)
+		a.curState = gs
+		a.curKey = append(a.curKey[:0], keyBytes...)
+		return gs, nil
+	}
+	gs, ok := a.groups[string(keyBytes)]
+	if !ok {
+		gs = a.newState(env)
+		a.groups[string(keyBytes)] = gs
+		a.order = append(a.order, string(keyBytes))
+	}
+	return gs, nil
+}
+
+// add folds one non-NULL value (ignored for COUNT) into aggregate slot i.
+// v is by pointer purely so hot loops avoid a Value copy per call; it is
+// never mutated.
+func (gs *groupState) add(i int, f AggFunc, v *sqltypes.Value) {
+	switch f {
+	case AggCount:
+		gs.counts[i]++
+	case AggSum, AggAvg:
+		gs.counts[i]++
+		gs.sums[i] += v.Float()
+	case AggMin:
+		if gs.counts[i] == 0 || sqltypes.ComparePtr(v, &gs.mins[i]) < 0 {
+			gs.mins[i] = *v
+		}
+		gs.counts[i]++
+	case AggMax:
+		if gs.counts[i] == 0 || sqltypes.ComparePtr(v, &gs.maxs[i]) > 0 {
+			gs.maxs[i] = *v
+		}
+		gs.counts[i]++
+	}
 }
 
 func (a *aggregator) emitGroup(gs *groupState) (sqltypes.Row, error) {
@@ -495,11 +553,17 @@ func (a *aggregator) finish() ([]sqltypes.Row, error) {
 	return out, nil
 }
 
-func distinctRows(rows []sqltypes.Row, st *Stats) []sqltypes.Row {
+// distinctRows dedupes on the visible output prefix only: hidden ORDER BY
+// tail columns are sort keys, not part of the SELECT DISTINCT row identity.
+// (Deduping the full row let rows differing only in a hidden sort column
+// survive, so SELECT DISTINCT a ... ORDER BY b returned duplicates of a.)
+// The first occurrence wins, which also fixes which hidden sort key the
+// surviving row carries into the sort — in pipeline order, deterministically.
+func distinctRows(rows []sqltypes.Row, hidden int, st *Stats) []sqltypes.Row {
 	seen := map[string]bool{}
 	out := rows[:0]
 	for _, r := range rows {
-		k := string(sqltypes.EncodeKey(nil, r...))
+		k := string(sqltypes.EncodeKey(nil, r[:len(r)-hidden]...))
 		if !seen[k] {
 			seen[k] = true
 			out = append(out, r)

@@ -1,6 +1,9 @@
 package exec
 
-import "aim/internal/sqltypes"
+import (
+	"aim/internal/sqlparser"
+	"aim/internal/sqltypes"
+)
 
 // KeySource supplies one index-key value: either a literal or a slot in the
 // env buffer filled by an earlier join step (index nested-loop join).
@@ -51,6 +54,12 @@ type Step struct {
 	// Filter is the residual predicate evaluated once this instance (and
 	// all earlier steps' instances) are filled.
 	Filter CompiledExpr
+	// ICPSrc/FilterSrc carry the source expressions behind ICP/Filter. The
+	// batch engine compiles them into per-batch predicate kernels; when nil
+	// (plans assembled without the optimizer) it falls back to evaluating
+	// the compiled closure row by row, which is slower but identical.
+	ICPSrc    sqlparser.Expr
+	FilterSrc sqlparser.Expr
 	// Desc is a human-readable access path description for EXPLAIN output.
 	Desc string
 }
@@ -71,6 +80,10 @@ const (
 type AggSpec struct {
 	Func AggFunc
 	Arg  CompiledExpr // nil for COUNT(*)
+	// ArgCol is the env offset + 1 when Arg is a bare column reference
+	// (0 = opaque or COUNT(*)). The batch engine reads the column directly
+	// instead of calling Arg per row; both produce the same value.
+	ArgCol int
 }
 
 // OutputSpec is one output column: either an aggregate result (Agg >= 0)
@@ -79,6 +92,24 @@ type AggSpec struct {
 type OutputSpec struct {
 	Agg  int // -1 when Expr is used
 	Expr CompiledExpr
+	// col is the env offset + 1 when the output is a bare column reference
+	// (0 = opaque expression). The batch engine projects such outputs by
+	// direct copy instead of calling Expr per row; both paths return the
+	// same Value.
+	col int
+}
+
+// ColOutput builds the output spec for a bare column reference at the given
+// env offset. It sets both the direct-copy fast path and an equivalent
+// closure, so row and batch engines project identically.
+func ColOutput(off int) OutputSpec {
+	return OutputSpec{
+		Agg: -1,
+		col: off + 1,
+		Expr: func(env []sqltypes.Value) (sqltypes.Value, error) {
+			return env[off], nil
+		},
+	}
 }
 
 // OrderSpec sorts output rows by the given output column.
@@ -93,6 +124,12 @@ type Plan struct {
 	Steps   []Step
 	Grouped bool
 	GroupBy []CompiledExpr
+	// GroupByCols carries, per GroupBy entry, the env offset + 1 when the
+	// grouping expression is a bare column reference (0 = opaque). When every
+	// entry is a column (and every aggregate arg likewise), the batch engine
+	// computes group keys by direct reads into a reused buffer instead of
+	// calling the GroupBy closures row by row. Nil disables the fast path.
+	GroupByCols []int
 	// GroupOrdered marks that rows arrive in group order (the access path
 	// sorts by the grouping columns), enabling cheap streaming aggregation.
 	GroupOrdered bool

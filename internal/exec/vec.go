@@ -1,0 +1,558 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"aim/internal/sqltypes"
+	"aim/internal/storage"
+)
+
+// batchSize is the number of rows a scan materializes per batch. Large
+// enough that per-batch dispatch overhead vanishes against per-row work,
+// small enough that a batch's row views and predicate lanes stay cache
+// resident.
+const batchSize = 1024
+
+// batchArena bundles the reusable scratch buffers of one vectorized
+// execution: key/value spans filled by ReadBatch, row views, the selection
+// vector, a decode slab for index-only reads, and free lists for the
+// tri-state lanes and sub-selections that nested AND/OR kernels borrow.
+// Arenas are pooled on the Executor (sync.Pool), so steady-state replay
+// allocates only the output rows that escape into Results.
+type batchArena struct {
+	keys []([]byte)
+	vals []interface{}
+	rows []sqltypes.Row
+	sel  []int32
+	slab []sqltypes.Value // decoded env rows for covering/ICP index reads
+	dec  []sqltypes.Value // per-entry key decode scratch
+
+	triFree [][]int8
+	selFree [][]int32
+}
+
+func (e *Executor) getArena() *batchArena {
+	if a, ok := e.arenas.Get().(*batchArena); ok {
+		return a
+	}
+	return &batchArena{
+		keys: make([][]byte, batchSize),
+		vals: make([]interface{}, batchSize),
+		rows: make([]sqltypes.Row, batchSize),
+		sel:  make([]int32, 0, batchSize),
+	}
+}
+
+func (e *Executor) putArena(a *batchArena) { e.arenas.Put(a) }
+
+// envSlab returns a cleared-on-demand value slab of at least n values.
+func (a *batchArena) envSlab(n int) []sqltypes.Value {
+	if cap(a.slab) < n {
+		a.slab = make([]sqltypes.Value, n)
+	}
+	return a.slab[:n]
+}
+
+func (a *batchArena) decBuf(n int) []sqltypes.Value {
+	if cap(a.dec) < n {
+		a.dec = make([]sqltypes.Value, n)
+	}
+	return a.dec[:n]
+}
+
+func (a *batchArena) getTri() []int8 {
+	if k := len(a.triFree); k > 0 {
+		b := a.triFree[k-1]
+		a.triFree = a.triFree[:k-1]
+		return b
+	}
+	return make([]int8, batchSize)
+}
+
+func (a *batchArena) putTri(b []int8) { a.triFree = append(a.triFree, b) }
+
+func (a *batchArena) getSel() []int32 {
+	if k := len(a.selFree); k > 0 {
+		s := a.selFree[k-1]
+		a.selFree = a.selFree[:k-1]
+		return s[:0]
+	}
+	return make([]int32, 0, batchSize)
+}
+
+func (a *batchArena) putSel(s []int32) { a.selFree = append(a.selFree, s) }
+
+// batchSink consumes filtered batches: either a projector building output
+// rows or an adapter feeding the shared aggregator.
+type batchSink interface {
+	consume(rows []sqltypes.Row, sel []int32) error
+	finishRows() ([]sqltypes.Row, error)
+}
+
+// batchProjector materializes output rows. When every output is a bare
+// column reference it copies values out of the batch into one slab per
+// batch (a single allocation covering all selected rows) instead of calling
+// a closure per column per row. Output slabs escape into the Result and are
+// never pooled.
+type batchProjector struct {
+	p       *Plan
+	cols    []int // env offsets when ALL outputs are bare columns, else nil
+	outRows []sqltypes.Row
+}
+
+func newBatchProjector(p *Plan) *batchProjector {
+	s := &batchProjector{p: p}
+	cols := make([]int, len(p.Output))
+	for i, o := range p.Output {
+		if o.Agg >= 0 || o.col == 0 {
+			return s
+		}
+		cols[i] = o.col - 1
+	}
+	s.cols = cols
+	return s
+}
+
+func (s *batchProjector) consume(rows []sqltypes.Row, sel []int32) error {
+	outW := len(s.p.Output)
+	if s.cols != nil && outW > 0 {
+		slab := make([]sqltypes.Value, len(sel)*outW)
+		for k, i := range sel {
+			dst := slab[k*outW : (k+1)*outW : (k+1)*outW]
+			src := rows[i]
+			for j, off := range s.cols {
+				dst[j] = src[off]
+			}
+			s.outRows = append(s.outRows, dst)
+		}
+		return nil
+	}
+	for _, i := range sel {
+		env := rows[i]
+		row := make(sqltypes.Row, outW)
+		for j, o := range s.p.Output {
+			v, err := o.Expr(env)
+			if err != nil {
+				return err
+			}
+			row[j] = v
+		}
+		s.outRows = append(s.outRows, row)
+	}
+	return nil
+}
+
+func (s *batchProjector) finishRows() ([]sqltypes.Row, error) { return s.outRows, nil }
+
+// batchAggSink feeds selected rows into the shared aggregator. When every
+// grouping expression and aggregate argument is a bare column, it computes
+// group keys by direct reads into one reused buffer and folds values without
+// per-row closure calls — but group identity, insertion order, stream
+// flushing and the accumulation arithmetic all live in the aggregator, so
+// the produced groups are identical to the row engine's by construction.
+type batchAggSink struct {
+	agg       *aggregator
+	groupCols []int // env offsets; nil = closure fallback via absorb
+	argCols   []int // per agg: env offset, or -1 for COUNT(*)
+	keyBuf    []byte
+	// Single-INT-group-column cache: skips the per-row key encode and string
+	// map lookup for repeat groups. First sight of a group still registers it
+	// through aggregator.state, so identity and insertion order are unchanged;
+	// hash mode only, because streaming retires states on key change.
+	intGroups map[int64]*groupState
+	nullGroup *groupState
+	// sumAgg is non-nil when every aggregate is COUNT/SUM/AVG — the pure
+	// counter/adder arms of groupState.add — letting consume inline the
+	// identical accumulation (same additions, same order) without a call
+	// per value. MIN/MAX keep routing through add.
+	sumAgg []bool
+}
+
+func newBatchAggSink(p *Plan) *batchAggSink {
+	s := &batchAggSink{agg: newAggregator(p)}
+	if len(p.GroupByCols) != len(p.GroupBy) {
+		return s
+	}
+	groupCols := make([]int, len(p.GroupByCols))
+	for i, c := range p.GroupByCols {
+		if c == 0 {
+			return s
+		}
+		groupCols[i] = c - 1
+	}
+	argCols := make([]int, len(p.Aggs))
+	for i, spec := range p.Aggs {
+		if spec.Arg == nil {
+			argCols[i] = -1
+			continue
+		}
+		if spec.ArgCol == 0 {
+			return s
+		}
+		argCols[i] = spec.ArgCol - 1
+	}
+	s.groupCols, s.argCols = groupCols, argCols
+	if len(groupCols) == 1 && !s.agg.stream {
+		s.intGroups = map[int64]*groupState{}
+	}
+	sumAgg := make([]bool, len(p.Aggs))
+	for i, spec := range p.Aggs {
+		switch spec.Func {
+		case AggCount:
+		case AggSum, AggAvg:
+			sumAgg[i] = true
+		default:
+			return s
+		}
+	}
+	s.sumAgg = sumAgg
+	return s
+}
+
+// lookup encodes the group key for env and resolves its state through the
+// aggregator, the single source of truth for group identity.
+func (s *batchAggSink) lookup(env sqltypes.Row) (*groupState, error) {
+	s.keyBuf = s.keyBuf[:0]
+	for _, c := range s.groupCols {
+		s.keyBuf = sqltypes.EncodeKey(s.keyBuf, env[c])
+	}
+	return s.agg.state(s.keyBuf, env)
+}
+
+func (s *batchAggSink) consume(rows []sqltypes.Row, sel []int32) error {
+	if s.argCols == nil {
+		for _, i := range sel {
+			if err := s.agg.absorb(rows[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	aggs := s.agg.p.Aggs
+	for _, i := range sel {
+		env := rows[i]
+		var gs *groupState
+		var err error
+		if s.intGroups != nil {
+			switch g := &env[s.groupCols[0]]; {
+			case g.IsNull():
+				if gs = s.nullGroup; gs == nil {
+					if gs, err = s.lookup(env); err != nil {
+						return err
+					}
+					s.nullGroup = gs
+				}
+			case g.Kind() == sqltypes.KindInt:
+				var ok bool
+				if gs, ok = s.intGroups[g.Int()]; !ok {
+					if gs, err = s.lookup(env); err != nil {
+						return err
+					}
+					s.intGroups[g.Int()] = gs
+				}
+			default:
+				if gs, err = s.lookup(env); err != nil {
+					return err
+				}
+			}
+		} else if gs, err = s.lookup(env); err != nil {
+			return err
+		}
+		if s.sumAgg != nil {
+			// groupState.add's COUNT/SUM/AVG arms, inlined: identical
+			// counter increments and float additions in identical order.
+			for j, c := range s.argCols {
+				if c < 0 {
+					gs.counts[j]++ // COUNT(*)
+					continue
+				}
+				v := &env[c]
+				if v.IsNull() {
+					continue // aggregates skip NULLs
+				}
+				gs.counts[j]++
+				if s.sumAgg[j] {
+					gs.sums[j] += v.Float()
+				}
+			}
+			continue
+		}
+		for j := range aggs {
+			c := s.argCols[j]
+			v := &sqltypes.Null
+			if c >= 0 {
+				v = &env[c]
+				if v.IsNull() {
+					continue // aggregates skip NULLs
+				}
+			}
+			gs.add(j, aggs[j].Func, v)
+		}
+	}
+	return nil
+}
+
+func (s *batchAggSink) finishRows() ([]sqltypes.Row, error) { return s.agg.finish() }
+
+// runVectorized executes a single-step plan batch-at-a-time: the scan fills
+// reusable row batches, predicates run per batch into selection vectors, and
+// projection/aggregation consume the selected rows. It produces byte-
+// identical Result rows and Stats to the row loop; the result tail and the
+// aggregator are literally shared, and the scan replicates the row loop's
+// RowsRead/PageReads accounting (height probe up front, per-entry and
+// per-lookup counts, leaves walked at the end).
+func (e *Executor) runVectorized(p *Plan, res *Result) (*Result, error) {
+	st := &res.Stats
+	step := &p.Steps[0]
+	inst := p.Layout.Instances[step.Instance]
+	tbl := e.Store.Table(inst.Table.Name)
+	if tbl == nil {
+		return nil, fmt.Errorf("exec: table %q not materialized", inst.Table.Name)
+	}
+	a := e.getArena()
+	defer e.putArena(a)
+	if e.m != nil {
+		e.m.batchStatements.Inc()
+	}
+
+	filterVec := compileVec(step.FilterSrc, p.Layout)
+	icpVec := compileVec(step.ICPSrc, p.Layout)
+
+	var sink batchSink
+	if p.Grouped {
+		sink = newBatchAggSink(p)
+	} else {
+		sink = newBatchProjector(p)
+	}
+
+	// Resolve the equality prefix; a NULL key matches nothing (but grouped
+	// plans still emit their empty-input aggregate row via the sink).
+	env := make([]sqltypes.Value, p.Layout.Width)
+	prefix := make([]sqltypes.Value, len(step.EqKeys))
+	skipScan := false
+	for i, k := range step.EqKeys {
+		v := k.Resolve(env)
+		if v.IsNull() {
+			skipScan = true
+			break
+		}
+		prefix[i] = v
+	}
+
+	scan := func(lo, hi []byte, hiInc bool) error {
+		if step.IndexName == "" {
+			return e.vecScanClustered(step, tbl, inst, a, filterVec, sink, lo, hi, hiInc, st)
+		}
+		return e.vecScanIndex(step, tbl, inst, a, filterVec, icpVec, sink, lo, hi, hiInc, st)
+	}
+
+	switch {
+	case skipScan:
+	case len(step.In) > 0:
+		// Multi-range read, identical value ordering to the row loop.
+		vals := make([]sqltypes.Value, 0, len(step.In))
+		for _, ks := range step.In {
+			v := ks.Resolve(env)
+			if !v.IsNull() {
+				vals = append(vals, v)
+			}
+		}
+		sort.Slice(vals, func(i, j int) bool { return sqltypes.Compare(vals[i], vals[j]) < 0 })
+		prev := sqltypes.Null
+		for _, v := range vals {
+			if !prev.IsNull() && sqltypes.Compare(prev, v) == 0 {
+				continue
+			}
+			prev = v
+			full := append(append([]sqltypes.Value(nil), prefix...), v)
+			lo, hi, hiInc, _ := scanBounds(full, nil, env)
+			if err := scan(lo, hi, hiInc); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		lo, hi, hiInc, empty := scanBounds(prefix, step.Range, env)
+		if !empty {
+			if err := scan(lo, hi, hiInc); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	outRows, err := sink.finishRows()
+	if err != nil {
+		return nil, err
+	}
+	return e.finish(p, outRows, res)
+}
+
+// applyPred narrows sel to rows passing the predicate, compacting in place.
+// The vectorized kernel is preferred; a nil kernel falls back to the row
+// closure evaluated per selected row (same order, same first error).
+func applyPred(a *batchArena, vp vecPred, closure CompiledExpr, rows []sqltypes.Row, sel []int32) ([]int32, error) {
+	if vp != nil {
+		out := a.getTri()
+		vp(a, rows, sel, out)
+		kept := sel[:0]
+		for _, i := range sel {
+			if out[i] == triTrue {
+				kept = append(kept, i)
+			}
+		}
+		a.putTri(out)
+		return kept, nil
+	}
+	if closure == nil {
+		return sel, nil
+	}
+	kept := sel[:0]
+	for _, i := range sel {
+		ok, err := passes(closure, rows[i])
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			kept = append(kept, i)
+		}
+	}
+	return kept, nil
+}
+
+func (e *Executor) vecScanClustered(step *Step, tbl *storage.Table, inst Instance, a *batchArena, filterVec vecPred, sink batchSink, lo, hi []byte, hiInc bool, st *Stats) error {
+	if e.m != nil {
+		e.m.clusteredScans.Inc()
+	}
+	var scanned int64
+	st.PageReads += int64(tbl.Data().Height())
+	it := tbl.Data().SeekRange(lo, hi, hiInc)
+	for {
+		n := it.ReadBatch(nil, a.vals, batchSize)
+		if n == 0 {
+			break
+		}
+		st.RowsRead += int64(n)
+		scanned += int64(n)
+		if e.m != nil {
+			e.m.batches.Inc()
+		}
+		rows := a.rows[:n]
+		sel := a.sel[:0]
+		for i := 0; i < n; i++ {
+			// Single-step plans have a single-instance layout (base 0,
+			// width == ncols), so the stored row IS the env row: no copy.
+			rows[i] = a.vals[i].(sqltypes.Row)
+			sel = append(sel, int32(i))
+		}
+		sel, err := applyPred(a, filterVec, step.Filter, rows, sel)
+		if err != nil {
+			return err
+		}
+		if err := sink.consume(rows, sel); err != nil {
+			return err
+		}
+	}
+	st.PageReads += int64(it.LeavesWalked())
+	if e.m != nil {
+		e.m.clusteredRows.Add(scanned)
+	}
+	return nil
+}
+
+func (e *Executor) vecScanIndex(step *Step, tbl *storage.Table, inst Instance, a *batchArena, filterVec, icpVec vecPred, sink batchSink, lo, hi []byte, hiInc bool, st *Stats) error {
+	ix := tbl.Index(step.IndexName)
+	if ix == nil {
+		return fmt.Errorf("exec: index %q not materialized on %s", step.IndexName, tbl.Def.Name)
+	}
+	ncols := len(inst.Table.Columns)
+	ords := ix.Ordinals()
+	pks := tbl.Def.PrimaryKey
+	keyCols := len(ords) + len(pks)
+	needDecode := step.Covering || step.ICP != nil
+
+	if e.m != nil {
+		if step.Covering {
+			e.m.indexOnlyScans.Inc()
+		} else {
+			e.m.indexScans.Inc()
+		}
+	}
+	var scanned int64
+	st.PageReads += int64(ix.Tree().Height())
+	it := ix.Tree().SeekRange(lo, hi, hiInc)
+	for {
+		var n int
+		if needDecode {
+			n = it.ReadBatch(a.keys, a.vals, batchSize)
+		} else {
+			n = it.ReadBatch(nil, a.vals, batchSize)
+		}
+		if n == 0 {
+			break
+		}
+		st.RowsRead += int64(n) // index entries examined
+		scanned += int64(n)
+		if e.m != nil {
+			e.m.batches.Inc()
+		}
+		rows := a.rows[:n]
+		sel := a.sel[:0]
+		for i := 0; i < n; i++ {
+			sel = append(sel, int32(i))
+		}
+		if needDecode {
+			slab := a.envSlab(n * ncols)
+			dec := a.decBuf(keyCols)
+			for i := 0; i < n; i++ {
+				row := slab[i*ncols : (i+1)*ncols : (i+1)*ncols]
+				for j := range row {
+					row[j] = sqltypes.Null
+				}
+				if _, err := sqltypes.DecodeKeyInto(dec, a.keys[i], keyCols); err != nil {
+					return fmt.Errorf("exec: corrupt index entry: %v", err)
+				}
+				for j, o := range ords {
+					row[o] = dec[j]
+				}
+				for j, o := range pks {
+					row[o] = dec[len(ords)+j]
+				}
+				rows[i] = row
+			}
+			if step.ICP != nil {
+				var err error
+				sel, err = applyPred(a, icpVec, step.ICP, rows, sel)
+				if err != nil {
+					return err
+				}
+			}
+		}
+		if !step.Covering {
+			dataHeight := int64(tbl.Data().Height())
+			for _, i := range sel {
+				pk := a.vals[i].([]byte)
+				row, ok := tbl.GetByPK(pk, nil)
+				if !ok {
+					return fmt.Errorf("exec: dangling index entry in %s", step.IndexName)
+				}
+				st.RowsRead++
+				st.PageReads += dataHeight
+				// The base row replaces any decoded ICP view: the row loop
+				// likewise overwrites the whole env segment after a lookup.
+				rows[i] = row
+			}
+		}
+		sel, err := applyPred(a, filterVec, step.Filter, rows, sel)
+		if err != nil {
+			return err
+		}
+		if err := sink.consume(rows, sel); err != nil {
+			return err
+		}
+	}
+	st.PageReads += int64(it.LeavesWalked())
+	if e.m != nil {
+		e.m.indexRows.Add(scanned)
+	}
+	return nil
+}

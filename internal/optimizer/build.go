@@ -7,7 +7,6 @@ import (
 	"aim/internal/exec"
 	"aim/internal/queryinfo"
 	"aim/internal/sqlparser"
-	"aim/internal/sqltypes"
 )
 
 // BuildSelectPlan plans and constructs an executable physical plan for a
@@ -136,17 +135,36 @@ func (o *Optimizer) buildStep(layout *exec.Layout, inst int, ap *accessPath, fil
 			return nil, err
 		}
 		step.ICP = ce
+		step.ICPSrc = icpExpr
 	}
 
 	if len(filters) > 0 {
-		ce, err := exec.Compile(andAll(filters), layout)
+		filterExpr := andAll(filters)
+		ce, err := exec.Compile(filterExpr, layout)
 		if err != nil {
 			return nil, err
 		}
 		step.Filter = ce
+		step.FilterSrc = filterExpr
 	}
 	step.Desc = ap.Desc(layout.Instances[inst].Alias)
 	return step, nil
+}
+
+// buildExprOutput compiles one scalar output expression, using the direct
+// column-copy spec for bare column references so the batch engine can project
+// them without per-row closure calls.
+func buildExprOutput(e sqlparser.Expr, layout *exec.Layout) (exec.OutputSpec, error) {
+	if cr, ok := e.(*sqlparser.ColumnRef); ok {
+		if off, err := layout.Resolve(cr.Table, cr.Column); err == nil {
+			return exec.ColOutput(off), nil
+		}
+	}
+	ce, err := exec.Compile(e, layout)
+	if err != nil {
+		return exec.OutputSpec{}, err
+	}
+	return exec.OutputSpec{Agg: -1, Expr: ce}, nil
 }
 
 func atomExprs(atoms []*queryinfo.Atom) []sqlparser.Expr {
@@ -203,6 +221,11 @@ func (o *Optimizer) buildOutputs(sel *sqlparser.Select, info *queryinfo.Info, pl
 				return 0, err
 			}
 			spec.Arg = ce
+			if cr, ok := f.Args[0].(*sqlparser.ColumnRef); ok {
+				if off, err := layout.Resolve(cr.Table, cr.Column); err == nil {
+					spec.ArgCol = off + 1
+				}
+			}
 		}
 		plan.Aggs = append(plan.Aggs, spec)
 		return len(plan.Aggs) - 1, nil
@@ -224,9 +247,7 @@ func (o *Optimizer) buildOutputs(sel *sqlparser.Select, info *queryinfo.Info, pl
 					if err != nil {
 						return err
 					}
-					oo := off
-					plan.Output = append(plan.Output, exec.OutputSpec{Agg: -1,
-						Expr: func(env []sqltypes.Value) (sqltypes.Value, error) { return env[oo], nil }})
+					plan.Output = append(plan.Output, exec.ColOutput(off))
 					outMeta = append(outMeta, outCol{sql: strings.ToLower(in.Alias + "." + col)})
 				}
 			}
@@ -241,11 +262,11 @@ func (o *Optimizer) buildOutputs(sel *sqlparser.Select, info *queryinfo.Info, pl
 			outMeta = append(outMeta, outCol{sql: strings.ToLower(f.SQL()), alias: strings.ToLower(se.Alias)})
 			continue
 		}
-		ce, err := exec.Compile(se.Expr, layout)
+		spec, err := buildExprOutput(se.Expr, layout)
 		if err != nil {
 			return err
 		}
-		plan.Output = append(plan.Output, exec.OutputSpec{Agg: -1, Expr: ce})
+		plan.Output = append(plan.Output, spec)
 		outMeta = append(outMeta, outCol{sql: strings.ToLower(se.Expr.SQL()), alias: strings.ToLower(se.Alias)})
 	}
 
@@ -256,6 +277,13 @@ func (o *Optimizer) buildOutputs(sel *sqlparser.Select, info *queryinfo.Info, pl
 			return err
 		}
 		plan.GroupBy = append(plan.GroupBy, ce)
+		col := 0
+		if cr, ok := g.(*sqlparser.ColumnRef); ok {
+			if off, err := layout.Resolve(cr.Table, cr.Column); err == nil {
+				col = off + 1
+			}
+		}
+		plan.GroupByCols = append(plan.GroupByCols, col)
 	}
 
 	// Map ORDER BY expressions to output columns, appending hidden columns
@@ -286,11 +314,11 @@ func (o *Optimizer) buildOutputs(sel *sqlparser.Select, info *queryinfo.Info, pl
 				}
 				plan.Output = append(plan.Output, exec.OutputSpec{Agg: idx})
 			} else {
-				ce, err := exec.Compile(oi.Expr, layout)
+				spec, err := buildExprOutput(oi.Expr, layout)
 				if err != nil {
 					return err
 				}
-				plan.Output = append(plan.Output, exec.OutputSpec{Agg: -1, Expr: ce})
+				plan.Output = append(plan.Output, spec)
 			}
 			outMeta = append(outMeta, outCol{sql: sqlText})
 			col = len(outMeta) - 1

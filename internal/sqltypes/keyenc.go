@@ -83,19 +83,31 @@ func encodeStringOrdered(dst []byte, s string) []byte {
 // Float64ToValue), which is sufficient for index-only (covering) reads of the
 // synthetic data in this repository.
 func DecodeKey(src []byte, n int) ([]Value, []byte, error) {
-	out := make([]Value, 0, n)
+	out := make([]Value, n)
+	rest, err := DecodeKeyInto(out, src, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, rest, nil
+}
+
+// DecodeKeyInto decodes n values into dst (which must have len >= n) and
+// returns the remaining bytes. It is the allocation-free core of DecodeKey:
+// batch decoders reuse one dst slice across many keys instead of allocating a
+// result slice per entry.
+func DecodeKeyInto(dst []Value, src []byte, n int) ([]byte, error) {
 	for i := 0; i < n; i++ {
 		if len(src) == 0 {
-			return nil, nil, fmt.Errorf("sqltypes: truncated key, want %d values got %d", n, i)
+			return nil, fmt.Errorf("sqltypes: truncated key, want %d values got %d", n, i)
 		}
 		tag := src[0]
 		src = src[1:]
 		switch tag {
 		case tagNull:
-			out = append(out, Null)
+			dst[i] = Null
 		case tagNum:
 			if len(src) < 8 {
-				return nil, nil, fmt.Errorf("sqltypes: truncated numeric payload")
+				return nil, fmt.Errorf("sqltypes: truncated numeric payload")
 			}
 			bits := binary.BigEndian.Uint64(src[:8])
 			src = src[8:]
@@ -104,12 +116,12 @@ func DecodeKey(src []byte, n int) ([]Value, []byte, error) {
 			} else {
 				bits = ^bits
 			}
-			out = append(out, Float64ToValue(math.Float64frombits(bits)))
+			dst[i] = Float64ToValue(math.Float64frombits(bits))
 		case tagString:
 			var b []byte
 			for {
 				if len(src) < 2 && !(len(src) >= 1 && src[0] != 0x00) {
-					return nil, nil, fmt.Errorf("sqltypes: truncated string payload")
+					return nil, fmt.Errorf("sqltypes: truncated string payload")
 				}
 				c := src[0]
 				if c != 0x00 {
@@ -118,7 +130,7 @@ func DecodeKey(src []byte, n int) ([]Value, []byte, error) {
 					continue
 				}
 				if len(src) < 2 {
-					return nil, nil, fmt.Errorf("sqltypes: truncated string terminator")
+					return nil, fmt.Errorf("sqltypes: truncated string terminator")
 				}
 				next := src[1]
 				src = src[2:]
@@ -129,12 +141,12 @@ func DecodeKey(src []byte, n int) ([]Value, []byte, error) {
 					b = append(b, 0x00)
 					continue
 				}
-				return nil, nil, fmt.Errorf("sqltypes: bad string escape 0x00 0x%02x", next)
+				return nil, fmt.Errorf("sqltypes: bad string escape 0x00 0x%02x", next)
 			}
-			out = append(out, NewString(string(b)))
+			dst[i] = NewString(string(b))
 		default:
-			return nil, nil, fmt.Errorf("sqltypes: unknown key tag 0x%02x", tag)
+			return nil, fmt.Errorf("sqltypes: unknown key tag 0x%02x", tag)
 		}
 	}
-	return out, src, nil
+	return src, nil
 }

@@ -196,6 +196,45 @@ func compareNumeric(a, b Value) int {
 	}
 }
 
+// ComparePtr is Compare for hot loops: identical ordering, but operands are
+// passed by pointer so tight per-row kernels avoid copying two Value structs
+// per comparison. Neither operand is mutated.
+func ComparePtr(a, b *Value) int {
+	ar, br := rank(a.kind), rank(b.kind)
+	if ar != br {
+		if ar < br {
+			return -1
+		}
+		return 1
+	}
+	switch ar {
+	case 0: // both NULL
+		return 0
+	case 1: // numeric
+		if a.kind == KindFloat || b.kind == KindFloat {
+			af, bf := a.Float(), b.Float()
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			default:
+				return 0
+			}
+		}
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		default:
+			return 0
+		}
+	default: // string-ish
+		return strings.Compare(a.s, b.s)
+	}
+}
+
 // Equal reports whether two values compare equal.
 func Equal(a, b Value) bool { return Compare(a, b) == 0 }
 
