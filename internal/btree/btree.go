@@ -1,15 +1,33 @@
-// Package btree implements an in-memory B+tree over []byte keys with
-// bytewise ordering. It backs both clustered tables and secondary indexes.
+// Package btree implements an in-memory copy-on-write B+tree over []byte
+// keys with bytewise ordering. It backs both clustered tables and secondary
+// indexes.
 //
-// Leaves are chained, so range scans are sequential; the tree also exposes
-// page-level accounting (leaf count, height) that the storage layer uses to
-// model I/O cost: a range scan touching k entries across p leaves costs p
+// The tree is persistent in the functional-data-structure sense: Clone is an
+// O(1) root-pointer copy, after which both handles share the entire node
+// graph. Writers path-copy from root to leaf — every node carries the epoch
+// that created it, and a handle may mutate a node in place only when the
+// node's epoch equals the handle's current epoch (the handle created the
+// node since its last Clone). Clone hands *both* handles fresh epochs from a
+// clock shared across the clone family, so neither side can touch a node the
+// other can reach: readers traversing a snapshot root see a frozen,
+// byte-stable image no matter what DML runs against live handles, with no
+// locking on either side. Clone itself must be serialized with writers to
+// the same handle (it reassigns the handle's epoch); everything after the
+// clone — snapshot reads concurrent with live writes — is race-free.
+//
+// Iterators walk leaves through a per-iterator descent stack. (The previous
+// implementation chained leaves with next/prev pointers; a split would have
+// to relink shared siblings in place, which is exactly the cross-snapshot
+// mutation copy-on-write forbids.) The tree still exposes the page-level
+// accounting (leaf count, height, leaves walked) that the storage layer uses
+// to model I/O cost: a range scan touching k entries across p leaves costs p
 // page reads plus one root-to-leaf descent.
 package btree
 
 import (
 	"bytes"
 	"fmt"
+	"sync/atomic"
 )
 
 // degree is the maximum number of keys per node. 64 keeps nodes around the
@@ -17,13 +35,13 @@ import (
 const degree = 64
 
 type leaf struct {
-	keys [][]byte
-	vals []interface{}
-	next *leaf
-	prev *leaf
+	epoch uint64
+	keys  [][]byte
+	vals  []interface{}
 }
 
 type inner struct {
+	epoch uint64
 	// keys[i] is the smallest key reachable under children[i+1].
 	keys     [][]byte
 	children []node
@@ -34,19 +52,51 @@ type node interface{ isNode() }
 func (*leaf) isNode()  {}
 func (*inner) isNode() {}
 
-// Tree is an in-memory B+tree. The zero value is not usable; call New.
+// epochClock allocates write epochs for one clone family. It is shared by
+// every Tree handle descended from the same New/BulkLoad call, and advanced
+// atomically so concurrent clones of sibling trees never collide.
+type epochClock struct{ n atomic.Uint64 }
+
+func (c *epochClock) next() uint64 { return c.n.Add(1) }
+
+// cowCopies counts nodes path-copied by writers across every tree in the
+// process — the feed for the storage.cow_node_copies metric. One atomic add
+// per copied node; copies happen at most O(height) per mutation and only
+// when the mutated path is shared with a snapshot.
+var cowCopies atomic.Int64
+
+// COWNodeCopies returns the process-wide count of copy-on-write node copies.
+func COWNodeCopies() int64 { return cowCopies.Load() }
+
+// Tree is an in-memory copy-on-write B+tree handle. The zero value is not
+// usable; call New, BulkLoad, or Clone an existing handle.
+//
+// A Tree is single-writer: mutations and Clone calls on the same handle must
+// be serialized by the caller. Distinct handles of the same family (a live
+// tree and its snapshots) are fully independent — reads on one may run
+// concurrently with writes on another.
 type Tree struct {
 	root   node
-	first  *leaf
 	size   int
 	height int
 	leaves int
+	// epoch is the write epoch of this handle: nodes tagged with it were
+	// created by this handle since its last Clone and may be mutated in
+	// place; any other node is shared and must be path-copied first.
+	epoch uint64
+	clock *epochClock
+	// copies counts nodes this handle has path-copied, for per-tree
+	// memory-amplification accounting.
+	copies int64
 }
 
-// New returns an empty tree.
+// New returns an empty tree starting its own clone family.
 func New() *Tree {
-	l := &leaf{}
-	return &Tree{root: l, first: l, height: 1, leaves: 1}
+	c := &epochClock{}
+	t := &Tree{clock: c, epoch: c.next()}
+	t.root = &leaf{epoch: t.epoch}
+	t.height, t.leaves = 1, 1
+	return t
 }
 
 // Len returns the number of entries.
@@ -59,6 +109,13 @@ func (t *Tree) Height() int { return t.height }
 // Leaves returns the number of leaf pages.
 func (t *Tree) Leaves() int { return t.leaves }
 
+// COWCopies returns how many nodes this handle has path-copied since it was
+// created (counters are not inherited by clones).
+func (t *Tree) COWCopies() int64 { return t.copies }
+
+// Epoch returns the handle's current write epoch, for invariant checks.
+func (t *Tree) Epoch() uint64 { return t.epoch }
+
 // Get returns the value stored under key, if any.
 func (t *Tree) Get(key []byte) (interface{}, bool) {
 	l, _ := t.findLeaf(key)
@@ -69,18 +126,25 @@ func (t *Tree) Get(key []byte) (interface{}, bool) {
 	return l.vals[i], true
 }
 
+// pathEntry records one inner node on a descent plus the child index taken.
+type pathEntry struct {
+	in  *inner
+	idx int
+}
+
 // findLeaf descends to the leaf that owns key and returns it with the
-// descent path of inner nodes (root first).
-func (t *Tree) findLeaf(key []byte) (*leaf, []*inner) {
-	var path []*inner
+// descent path (root first).
+func (t *Tree) findLeaf(key []byte) (*leaf, []pathEntry) {
+	var path []pathEntry
 	n := t.root
 	for {
 		switch v := n.(type) {
 		case *leaf:
 			return v, path
 		case *inner:
-			path = append(path, v)
-			n = v.children[v.childIndex(key)]
+			i := v.childIndex(key)
+			path = append(path, pathEntry{v, i})
+			n = v.children[i]
 		}
 	}
 }
@@ -117,9 +181,60 @@ func (l *leaf) search(key []byte) (int, bool) {
 	return lo, false
 }
 
+// ownLeaf returns a leaf this handle may mutate, path-copying when the leaf
+// is shared with another handle. Key and value slices are shared with the
+// copy — both sides treat stored keys and rows as immutable.
+func (t *Tree) ownLeaf(l *leaf) *leaf {
+	if l.epoch == t.epoch {
+		return l
+	}
+	t.copies++
+	cowCopies.Add(1)
+	return &leaf{
+		epoch: t.epoch,
+		keys:  append([][]byte(nil), l.keys...),
+		vals:  append([]interface{}(nil), l.vals...),
+	}
+}
+
+// ownInner is ownLeaf for inner nodes.
+func (t *Tree) ownInner(in *inner) *inner {
+	if in.epoch == t.epoch {
+		return in
+	}
+	t.copies++
+	cowCopies.Add(1)
+	return &inner{
+		epoch:    t.epoch,
+		keys:     append([][]byte(nil), in.keys...),
+		children: append([]node(nil), in.children...),
+	}
+}
+
+// ownPath makes every node on the descent writable by this handle — leaf
+// first, then each ancestor bottom-up, relinking child pointers and the root
+// as copies are made — and returns the owned leaf. path entries are updated
+// in place so callers keep working with owned nodes.
+func (t *Tree) ownPath(l *leaf, path []pathEntry) *leaf {
+	nl := t.ownLeaf(l)
+	var child node = nl
+	for d := len(path) - 1; d >= 0; d-- {
+		in := t.ownInner(path[d].in)
+		in.children[path[d].idx] = child
+		path[d].in = in
+		child = in
+	}
+	if len(path) > 0 {
+		t.root = path[0].in
+	} else {
+		t.root = nl
+	}
+	return nl
+}
+
 // Put inserts or replaces the value under key and reports whether the key
 // was newly inserted. The key is copied on insert; the replacement path
-// allocates nothing.
+// copies only the shared portion of the descent.
 func (t *Tree) Put(key []byte, val interface{}) bool {
 	return t.put(key, val, true)
 }
@@ -136,9 +251,11 @@ func (t *Tree) put(key []byte, val interface{}, copyKey bool) bool {
 	l, path := t.findLeaf(key)
 	i, found := l.search(key)
 	if found {
+		l = t.ownPath(l, path)
 		l.vals[i] = val
 		return false
 	}
+	l = t.ownPath(l, path)
 	k := key
 	if copyKey {
 		k = append([]byte(nil), key...)
@@ -156,31 +273,30 @@ func (t *Tree) put(key []byte, val interface{}, copyKey bool) bool {
 	return true
 }
 
-func (t *Tree) splitLeaf(l *leaf, path []*inner) {
+// splitLeaf splits an owned, overfull leaf. The right half is a fresh node
+// at the writer's epoch; no shared node is touched.
+func (t *Tree) splitLeaf(l *leaf, path []pathEntry) {
 	mid := len(l.keys) / 2
 	right := &leaf{
-		keys: append([][]byte(nil), l.keys[mid:]...),
-		vals: append([]interface{}(nil), l.vals[mid:]...),
-		next: l.next,
-		prev: l,
-	}
-	if l.next != nil {
-		l.next.prev = right
+		epoch: t.epoch,
+		keys:  append([][]byte(nil), l.keys[mid:]...),
+		vals:  append([]interface{}(nil), l.vals[mid:]...),
 	}
 	l.keys = l.keys[:mid:mid]
 	l.vals = l.vals[:mid:mid]
-	l.next = right
 	t.leaves++
 	t.insertIntoParent(path, l, right.keys[0], right)
 }
 
-func (t *Tree) insertIntoParent(path []*inner, left node, sep []byte, right node) {
+// insertIntoParent splices right under the lowest path entry (already owned
+// by this handle), growing a new root when the path is empty.
+func (t *Tree) insertIntoParent(path []pathEntry, left node, sep []byte, right node) {
 	if len(path) == 0 {
-		t.root = &inner{keys: [][]byte{sep}, children: []node{left, right}}
+		t.root = &inner{epoch: t.epoch, keys: [][]byte{sep}, children: []node{left, right}}
 		t.height++
 		return
 	}
-	parent := path[len(path)-1]
+	parent := path[len(path)-1].in
 	i := parent.childIndex(sep)
 	parent.keys = append(parent.keys, nil)
 	copy(parent.keys[i+1:], parent.keys[i:])
@@ -193,10 +309,11 @@ func (t *Tree) insertIntoParent(path []*inner, left node, sep []byte, right node
 	}
 }
 
-func (t *Tree) splitInner(in *inner, path []*inner) {
+func (t *Tree) splitInner(in *inner, path []pathEntry) {
 	mid := len(in.keys) / 2
 	sep := in.keys[mid]
 	right := &inner{
+		epoch:    t.epoch,
 		keys:     append([][]byte(nil), in.keys[mid+1:]...),
 		children: append([]node(nil), in.children[mid+1:]...),
 	}
@@ -206,57 +323,48 @@ func (t *Tree) splitInner(in *inner, path []*inner) {
 }
 
 // Delete removes key and reports whether it was present. Underfull nodes
-// are tolerated (no rebalancing), but a leaf that empties is unlinked from
-// the chain and pruned from its ancestors immediately so Leaves()-based
-// page accounting stays faithful after delete-heavy workloads.
+// are tolerated (no rebalancing), but a leaf that empties is pruned from its
+// ancestors immediately so Leaves()-based page accounting stays faithful
+// after delete-heavy workloads.
 func (t *Tree) Delete(key []byte) bool {
 	l, path := t.findLeaf(key)
 	i, found := l.search(key)
 	if !found {
 		return false
 	}
+	l = t.ownPath(l, path)
 	l.keys = append(l.keys[:i], l.keys[i+1:]...)
 	l.vals = append(l.vals[:i], l.vals[i+1:]...)
 	t.size--
 	if len(l.keys) == 0 {
-		t.unlinkLeaf(l, path)
+		t.pruneLeaf(path)
 	}
 	return true
 }
 
-// unlinkLeaf removes a now-empty leaf from the chain and from the inner
-// structure, pruning ancestors that would be left childless. The root leaf
-// is kept as the empty tree's single page. Separators above the pruned
+// pruneLeaf removes a now-empty leaf (the bottom of an owned path) from the
+// inner structure, pruning ancestors that would be left childless. The root
+// leaf is kept as the empty tree's single page. Separators above the pruned
 // subtree may end up lower than the actual minimum beneath them; that is
 // safe — routing only requires separators to be lower bounds.
-func (t *Tree) unlinkLeaf(l *leaf, path []*inner) {
+func (t *Tree) pruneLeaf(path []pathEntry) {
 	if len(path) == 0 {
 		return
 	}
 	// Walk up past ancestors that would become childless; they are pruned
 	// together with the leaf.
-	var child node = l
 	d := len(path) - 1
-	for d >= 0 && len(path[d].children) == 1 {
-		child = path[d]
+	for d >= 0 && len(path[d].in.children) == 1 {
 		d--
 	}
 	if d < 0 {
 		// Every ancestor had a single child: the tree is empty. Reset to a
 		// fresh single-leaf tree.
-		nl := &leaf{}
-		t.root, t.first = nl, nl
+		t.root = &leaf{epoch: t.epoch}
 		t.height, t.leaves = 1, 1
 		return
 	}
-	p := path[d]
-	ci := 0
-	for j, c := range p.children {
-		if c == child {
-			ci = j
-			break
-		}
-	}
+	p, ci := path[d].in, path[d].idx
 	// Dropping child ci drops one separator with it: keys[ci-1] bounds it
 	// from the left, except for child 0 whose right bound is keys[0].
 	ki := ci - 1
@@ -265,14 +373,6 @@ func (t *Tree) unlinkLeaf(l *leaf, path []*inner) {
 	}
 	p.keys = append(p.keys[:ki], p.keys[ki+1:]...)
 	p.children = append(p.children[:ci], p.children[ci+1:]...)
-	if l.prev != nil {
-		l.prev.next = l.next
-	} else {
-		t.first = l.next
-	}
-	if l.next != nil {
-		l.next.prev = l.prev
-	}
 	t.leaves--
 }
 
@@ -294,22 +394,24 @@ const (
 )
 
 // BulkLoad builds a tree from strictly-increasing sorted items in O(n):
-// items are packed directly into a chained leaf array and the inner levels
-// are assembled bottom-up — no descents, no binary searches, no key copies.
-// Ownership of the key slices transfers to the tree; callers must hand over
+// items are packed directly into leaves and the inner levels are assembled
+// bottom-up — no descents, no binary searches, no key copies. Ownership of
+// the key slices transfers to the tree; callers must hand over
 // freshly-encoded buffers they will not modify. Panics if the input is not
 // strictly sorted (callers sort with bytes.Compare first).
 func BulkLoad(items []Item) *Tree {
-	t := &Tree{}
+	c := &epochClock{}
+	t := &Tree{clock: c, epoch: c.next()}
 	bulkInto(t, items)
 	return t
 }
 
-// bulkInto (re)initializes t from sorted items.
+// bulkInto (re)initializes t from sorted items. Every node is created fresh
+// at t's epoch; nodes of any previous contents are abandoned to snapshots
+// that still reference them.
 func bulkInto(t *Tree, items []Item) {
 	if len(items) == 0 {
-		l := &leaf{}
-		t.root, t.first = l, l
+		t.root = &leaf{epoch: t.epoch}
 		t.height, t.leaves, t.size = 1, 1, 0
 		return
 	}
@@ -318,7 +420,6 @@ func bulkInto(t *Tree, items []Item) {
 	base, extra := len(items)/nLeaves, len(items)%nLeaves
 	nodes := make([]node, 0, nLeaves)
 	lows := make([][]byte, 0, nLeaves)
-	var prev *leaf
 	var prevKey []byte
 	pos := 0
 	for i := 0; i < nLeaves; i++ {
@@ -327,9 +428,9 @@ func bulkInto(t *Tree, items []Item) {
 			cnt++
 		}
 		l := &leaf{
-			keys: make([][]byte, cnt),
-			vals: make([]interface{}, cnt),
-			prev: prev,
+			epoch: t.epoch,
+			keys:  make([][]byte, cnt),
+			vals:  make([]interface{}, cnt),
 		}
 		for j := 0; j < cnt; j++ {
 			it := items[pos]
@@ -341,14 +442,9 @@ func bulkInto(t *Tree, items []Item) {
 			l.vals[j] = it.Val
 			pos++
 		}
-		if prev != nil {
-			prev.next = l
-		}
-		prev = l
 		nodes = append(nodes, l)
 		lows = append(lows, l.keys[0])
 	}
-	t.first = nodes[0].(*leaf)
 	t.leaves = nLeaves
 	t.size = len(items)
 	t.height = 1
@@ -371,6 +467,7 @@ func (t *Tree) buildInnerLevels(nodes []node, lows [][]byte) node {
 				cnt++
 			}
 			in := &inner{
+				epoch:    t.epoch,
 				keys:     make([][]byte, cnt-1),
 				children: make([]node, cnt),
 			}
@@ -407,10 +504,14 @@ func (t *Tree) AppendBulk(items []Item) bool {
 		bulkInto(t, items)
 		return true
 	}
-	last := t.lastLeaf()
+	last, path := t.rightmostLeaf()
 	if bytes.Compare(last.keys[len(last.keys)-1], items[0].Key) >= 0 {
 		return false
 	}
+	// All preconditions hold: the append happens. Own the rightmost spine
+	// once; every node created from here on carries the writer's epoch, so
+	// later splice iterations descend through owned nodes only.
+	last = t.ownPath(last, path)
 	pos := 0
 	for pos < len(items) && len(last.keys) < bulkLeafFill {
 		last.keys = append(last.keys, items[pos].Key)
@@ -424,93 +525,57 @@ func (t *Tree) AppendBulk(items []Item) bool {
 			cnt = bulkLeafFill
 		}
 		nl := &leaf{
-			keys: make([][]byte, cnt),
-			vals: make([]interface{}, cnt),
-			prev: last,
+			epoch: t.epoch,
+			keys:  make([][]byte, cnt),
+			vals:  make([]interface{}, cnt),
 		}
 		for j := 0; j < cnt; j++ {
 			nl.keys[j] = items[pos].Key
 			nl.vals[j] = items[pos].Val
 			pos++
 		}
-		last.next = nl
 		t.leaves++
 		t.size += cnt
-		// Splice the new leaf into the rightmost spine; splits propagate
+		// Splice the new leaf onto the rightmost spine; splits propagate
 		// through insertIntoParent exactly as for incremental growth. The
 		// path must be recomputed per leaf because splits restructure it.
-		t.insertIntoParent(t.rightmostPath(), last, nl.keys[0], nl)
-		last = nl
+		prev, spine := t.rightmostLeaf()
+		t.insertIntoParent(spine, prev, nl.keys[0], nl)
 	}
 	return true
 }
 
-// lastLeaf returns the rightmost leaf.
-func (t *Tree) lastLeaf() *leaf {
+// rightmostLeaf returns the rightmost leaf and its descent path.
+func (t *Tree) rightmostLeaf() (*leaf, []pathEntry) {
+	var path []pathEntry
 	n := t.root
 	for {
 		switch v := n.(type) {
 		case *leaf:
-			return v
+			return v, path
 		case *inner:
-			n = v.children[len(v.children)-1]
+			i := len(v.children) - 1
+			path = append(path, pathEntry{v, i})
+			n = v.children[i]
 		}
 	}
 }
 
-// rightmostPath returns the inner nodes along the rightmost spine, root
-// first.
-func (t *Tree) rightmostPath() []*inner {
-	var path []*inner
-	n := t.root
-	for {
-		in, ok := n.(*inner)
-		if !ok {
-			return path
-		}
-		path = append(path, in)
-		n = in.children[len(in.children)-1]
-	}
-}
-
-// Clone returns a structurally identical copy of the tree in O(n): the leaf
-// chain is copied page-for-page (preserving Leaves()/Height() accounting
-// exactly) and the inner levels are rebuilt bottom-up. Key byte slices and
-// values are shared with the original — both trees treat stored keys as
-// immutable, so the share is safe and halves the memory cost of a clone.
+// Clone returns an independent handle over the same contents in O(1): the
+// root pointer and page accounting are copied, every node is shared, and
+// both handles receive fresh write epochs so neither can mutate a node the
+// other reaches — the first write to a shared path copies it. Key bytes and
+// row values stay shared for the life of both handles.
+//
+// Clone must be serialized with writes to the receiver (it reassigns the
+// receiver's epoch); the returned snapshot may then be read concurrently
+// with writes to the receiver.
 func (t *Tree) Clone() *Tree {
-	out := &Tree{}
-	if t.size == 0 {
-		l := &leaf{}
-		out.root, out.first = l, l
-		out.height, out.leaves = 1, 1
-		return out
-	}
-	nodes := make([]node, 0, t.leaves)
-	lows := make([][]byte, 0, t.leaves)
-	var prev *leaf
-	for l := t.first; l != nil; l = l.next {
-		if len(l.keys) == 0 {
-			continue // tolerated only transiently; never copied
-		}
-		nl := &leaf{
-			keys: append([][]byte(nil), l.keys...),
-			vals: append([]interface{}(nil), l.vals...),
-			prev: prev,
-		}
-		if prev != nil {
-			prev.next = nl
-		}
-		prev = nl
-		nodes = append(nodes, nl)
-		lows = append(lows, nl.keys[0])
-	}
-	out.first = nodes[0].(*leaf)
-	out.leaves = len(nodes)
-	out.size = t.size
-	out.height = 1
-	out.root = out.buildInnerLevels(nodes, lows)
-	return out
+	out := *t
+	t.epoch = t.clock.next()
+	out.epoch = t.clock.next()
+	out.copies = 0
+	return &out
 }
 
 // FillPercent returns the average leaf occupancy as a percentage of leaf
@@ -522,8 +587,85 @@ func (t *Tree) FillPercent() float64 {
 	return 100 * float64(t.size) / float64(t.leaves*degree)
 }
 
-// Iter is a forward iterator positioned on a sequence of entries.
+// Footprint is the reachable size of one tree handle, for
+// memory-amplification accounting (bytes shared vs copied across a clone
+// family). Bytes counts key payloads plus fixed per-node and per-entry
+// overheads; row values are excluded (they are shared by construction — DML
+// replaces rows, never mutates them).
+type Footprint struct {
+	Nodes int
+	Bytes int64
+}
+
+const (
+	nodeOverhead  = 48 // node header + slice headers
+	entryOverhead = 40 // key slice header + value interface
+	childOverhead = 8  // child pointer
+)
+
+func nodeBytes(n node) int64 {
+	switch v := n.(type) {
+	case *leaf:
+		b := int64(nodeOverhead)
+		for _, k := range v.keys {
+			b += int64(len(k)) + entryOverhead
+		}
+		return b
+	case *inner:
+		b := int64(nodeOverhead)
+		for _, k := range v.keys {
+			b += int64(len(k)) + entryOverhead
+		}
+		return b + int64(len(v.children))*childOverhead
+	}
+	return 0
+}
+
+func (t *Tree) walk(fn func(n node)) {
+	var rec func(n node)
+	rec = func(n node) {
+		fn(n)
+		if in, ok := n.(*inner); ok {
+			for _, c := range in.children {
+				rec(c)
+			}
+		}
+	}
+	rec(t.root)
+}
+
+// Footprint walks the handle and sums its reachable nodes.
+func (t *Tree) Footprint() Footprint {
+	var f Footprint
+	t.walk(func(n node) {
+		f.Nodes++
+		f.Bytes += nodeBytes(n)
+	})
+	return f
+}
+
+// SharedFootprint reports the nodes (by pointer identity) reachable from
+// both handles — the structurally shared portion of a clone pair.
+func (t *Tree) SharedFootprint(other *Tree) Footprint {
+	seen := map[node]bool{}
+	other.walk(func(n node) { seen[n] = true })
+	var f Footprint
+	t.walk(func(n node) {
+		if seen[n] {
+			f.Nodes++
+			f.Bytes += nodeBytes(n)
+		}
+	})
+	return f
+}
+
+// Iter is a forward iterator positioned on a sequence of entries. It holds
+// a descent stack into the tree it was opened on: iterating a snapshot is
+// stable under any concurrent DML on other handles of the family, while
+// mutating the iterated handle itself mid-iteration is undefined (open the
+// iterator on a Clone instead).
 type Iter struct {
+	stack        []pathEntry
 	l            *leaf
 	i            int
 	hi           []byte // exclusive upper bound key, nil = unbounded
@@ -536,17 +678,26 @@ type Iter struct {
 // A nil from starts at the beginning.
 func (t *Tree) Seek(from []byte) *Iter {
 	it := &Iter{}
-	if from == nil {
-		it.l = t.first
-		it.i = -1
-		it.leavesWalked = 1
-		it.advance()
-		return it
+	n := t.root
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			break
+		}
+		i := 0
+		if from != nil {
+			i = in.childIndex(from)
+		}
+		it.stack = append(it.stack, pathEntry{in, i})
+		n = in.children[i]
 	}
-	l, _ := t.findLeaf(from)
-	i, _ := l.search(from)
-	it.l = l
-	it.i = i - 1
+	it.l = n.(*leaf)
+	if from == nil {
+		it.i = -1
+	} else {
+		i, _ := it.l.search(from)
+		it.i = i - 1
+	}
 	it.leavesWalked = 1
 	it.advance()
 	return it
@@ -565,12 +716,37 @@ func (t *Tree) SeekRange(from, to []byte, toInclusive bool) *Iter {
 	return it
 }
 
+// nextLeaf steps the descent stack to the next leaf in key order, returning
+// false (and clearing l) at the end of the tree. Empty leaves cannot occur
+// below inner nodes (Delete prunes them immediately), so the landed leaf
+// always has entries.
+func (it *Iter) nextLeaf() bool {
+	for len(it.stack) > 0 {
+		f := &it.stack[len(it.stack)-1]
+		if f.idx+1 < len(f.in.children) {
+			f.idx++
+			n := f.in.children[f.idx]
+			for {
+				in, ok := n.(*inner)
+				if !ok {
+					it.l = n.(*leaf)
+					it.i = 0
+					return true
+				}
+				it.stack = append(it.stack, pathEntry{in, 0})
+				n = in.children[0]
+			}
+		}
+		it.stack = it.stack[:len(it.stack)-1]
+	}
+	it.l = nil
+	return false
+}
+
 func (it *Iter) advance() {
 	it.i++
 	for it.l != nil && it.i >= len(it.l.keys) {
-		it.l = it.l.next
-		it.i = 0
-		if it.l != nil {
+		if it.nextLeaf() {
 			it.leavesWalked++
 		}
 	}
@@ -677,20 +853,28 @@ func (it *Iter) SkipLeaf() {
 	if !it.valid {
 		return
 	}
-	it.l = it.l.next
-	for it.l != nil && len(it.l.keys) == 0 {
-		it.l = it.l.next
+	if !it.nextLeaf() {
+		it.valid = false
+		return
 	}
-	it.i = 0
-	it.valid = it.l != nil
-	if it.valid {
-		it.leavesWalked++
-	}
+	it.leavesWalked++
+	it.valid = true
 	it.checkBound()
 }
 
 // Validate checks tree invariants and returns an error describing the first
-// violation. It is used by tests.
+// violation. Beyond ordering, size and page accounting it verifies the
+// copy-on-write invariants of the handle:
+//
+//   - no reachable node carries an epoch newer than the handle's write epoch
+//     (a violation means another handle mutated structure this one can see);
+//   - epochs never increase from parent to child (owned nodes are only ever
+//     linked beneath owned nodes — path-copying is top-down complete);
+//   - no epoch exceeds the family clock (a forged or corrupted tag).
+//
+// The fault and scenario suites run this per cycle on every live tree, so a
+// cross-snapshot in-place mutation would surface as a structural violation
+// there even when no snapshot is currently observing the damage.
 func (t *Tree) Validate() error {
 	var prev []byte
 	count := 0
@@ -704,54 +888,39 @@ func (t *Tree) Validate() error {
 	if count != t.size {
 		return fmt.Errorf("btree: size %d but iterated %d", t.size, count)
 	}
-	// Cross-check the leaves counter against the actual chain, the chain's
-	// back-links, and the set of leaves reachable through the structure.
-	chain := 0
-	var prevL *leaf
-	for l := t.first; l != nil; l = l.next {
-		if l.prev != prevL {
-			return fmt.Errorf("btree: broken prev link at chain position %d", chain)
-		}
-		if len(l.keys) == 0 && t.size > 0 {
-			return fmt.Errorf("btree: empty leaf left in chain at position %d", chain)
-		}
-		chain++
-		prevL = l
-	}
-	if chain != t.leaves {
-		return fmt.Errorf("btree: leaves counter %d but chain has %d", t.leaves, chain)
-	}
-	var reachable []*leaf
-	var walk func(n node)
-	walk = func(n node) {
-		switch v := n.(type) {
-		case *leaf:
-			reachable = append(reachable, v)
-		case *inner:
-			for _, c := range v.children {
-				walk(c)
+	// Cross-check the leaves counter against the set of leaves reachable
+	// through the structure, and forbid empty leaves in a non-empty tree.
+	reachable := 0
+	var err error
+	t.walk(func(n node) {
+		if l, ok := n.(*leaf); ok {
+			reachable++
+			if len(l.keys) == 0 && t.size > 0 && err == nil {
+				err = fmt.Errorf("btree: empty leaf reachable at position %d", reachable-1)
 			}
 		}
+	})
+	if err != nil {
+		return err
 	}
-	walk(t.root)
-	if len(reachable) != chain {
-		return fmt.Errorf("btree: structure reaches %d leaves but chain has %d", len(reachable), chain)
+	if reachable != t.leaves {
+		return fmt.Errorf("btree: leaves counter %d but structure reaches %d", t.leaves, reachable)
 	}
-	for i, l := range reachable {
-		want := t.first
-		for j := 0; j < i; j++ {
-			want = want.next
+	if t.clock != nil {
+		limit := t.clock.n.Load()
+		if t.epoch > limit {
+			return fmt.Errorf("btree: handle epoch %d exceeds family clock %d", t.epoch, limit)
 		}
-		if l != want {
-			return fmt.Errorf("btree: structure leaf %d is not chain leaf %d", i, i)
-		}
 	}
-	return t.validateNode(t.root, nil, nil)
+	return t.validateNode(t.root, nil, nil, t.epoch)
 }
 
-func (t *Tree) validateNode(n node, lo, hi []byte) error {
+func (t *Tree) validateNode(n node, lo, hi []byte, maxEpoch uint64) error {
 	switch v := n.(type) {
 	case *leaf:
+		if v.epoch > maxEpoch {
+			return fmt.Errorf("btree: leaf epoch %d above parent/handle epoch %d (cross-snapshot mutation)", v.epoch, maxEpoch)
+		}
 		for _, k := range v.keys {
 			if lo != nil && bytes.Compare(k, lo) < 0 {
 				return fmt.Errorf("btree: leaf key below lower bound")
@@ -761,6 +930,9 @@ func (t *Tree) validateNode(n node, lo, hi []byte) error {
 			}
 		}
 	case *inner:
+		if v.epoch > maxEpoch {
+			return fmt.Errorf("btree: inner epoch %d above parent/handle epoch %d (cross-snapshot mutation)", v.epoch, maxEpoch)
+		}
 		if len(v.children) != len(v.keys)+1 {
 			return fmt.Errorf("btree: inner children/keys mismatch")
 		}
@@ -772,7 +944,7 @@ func (t *Tree) validateNode(n node, lo, hi []byte) error {
 			if i < len(v.keys) {
 				chi = v.keys[i]
 			}
-			if err := t.validateNode(c, clo, chi); err != nil {
+			if err := t.validateNode(c, clo, chi, v.epoch); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,95 @@
+package btree
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+)
+
+// FuzzCOWSnapshotEquivalence drives a fuzz-chosen op sequence (put / delete /
+// clone-snapshot) against the tree and a pair of model maps, then checks that
+// the live tree matches the live model, the most recent snapshot matches the
+// model frozen at clone time, and both sides pass the full COW Validate.
+func FuzzCOWSnapshotEquivalence(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 2, 0, 3, 1, 1, 0, 4})
+	f.Add([]byte{2, 0, 0, 1, 0, 2, 0, 1, 2, 1, 0, 2, 0, 3})
+	f.Add([]byte{0, 10, 0, 20, 0, 30, 2, 1, 10, 1, 20, 0, 40, 2, 1, 30})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		tr := New()
+		liveModel := map[string]int{}
+		var snap *Tree
+		var snapModel map[string]int
+
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i]%3, ops[i+1]
+			k := fuzzKey(arg)
+			switch op {
+			case 0:
+				tr.Put(k, i)
+				liveModel[string(k)] = i
+			case 1:
+				tr.Delete(k)
+				delete(liveModel, string(k))
+			case 2:
+				snap = tr.Clone()
+				snapModel = map[string]int{}
+				for kk, vv := range liveModel {
+					snapModel[kk] = vv
+				}
+			}
+		}
+
+		checkModel(t, "live", tr, liveModel)
+		if snap != nil {
+			checkModel(t, "snapshot", snap, snapModel)
+			if err := snap.Validate(); err != nil {
+				t.Fatalf("snapshot Validate: %v", err)
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("live Validate: %v", err)
+		}
+	})
+}
+
+func fuzzKey(b byte) []byte {
+	k := make([]byte, 2)
+	binary.BigEndian.PutUint16(k, uint16(b)*257)
+	return k
+}
+
+// checkModel asserts the tree's full ordered scan equals the sorted model.
+func checkModel(t *testing.T, label string, tr *Tree, model map[string]int) {
+	t.Helper()
+	if tr.Len() != len(model) {
+		t.Fatalf("%s: Len=%d, model=%d", label, tr.Len(), len(model))
+	}
+	keys := make([]string, 0, len(model))
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	it := tr.Seek(nil)
+	for _, k := range keys {
+		if !it.Valid() {
+			t.Fatalf("%s: scan ended early, want key %x", label, k)
+		}
+		if string(it.Key()) != k {
+			t.Fatalf("%s: scan key %x, want %x", label, it.Key(), k)
+		}
+		if got := it.Value().(int); got != model[k] {
+			t.Fatalf("%s: key %x value %d, want %d", label, k, got, model[k])
+		}
+		it.Next()
+	}
+	if it.Valid() {
+		t.Fatalf("%s: scan has extra key %x", label, it.Key())
+	}
+	// Point lookups agree too.
+	for _, k := range keys {
+		v, ok := tr.Get([]byte(k))
+		if !ok || v.(int) != model[k] {
+			t.Fatalf("%s: Get(%x) = %v,%v want %d", label, k, v, ok, model[k])
+		}
+	}
+}

@@ -479,15 +479,19 @@ func (db *DB) EstimateIndexSize(def *catalog.Index) int64 {
 func (db *DB) TotalIndexBytes() int64 { return db.Store.TotalIndexBytes() }
 
 // Clone produces an isolated copy of the database (schema, data, indexes,
-// statistics). This is the MyShadow substrate: experiments run on the clone
-// never touch the original.
+// statistics) as an O(1) copy-on-write snapshot: the store shares every
+// tree node with the original until one side writes. This is the MyShadow
+// substrate — experiments run on the clone never touch the original, and
+// reads on the clone stay byte-stable under live DML on the original.
+// Clone must be serialized with writers to this DB; the returned handle is
+// then fully independent.
 func (db *DB) Clone(name string) *DB {
 	return db.cloneFrom(name, db.Store.Clone())
 }
 
 // CloneChecked is Clone behind the storage layer's "storage.clone"
 // failpoint. The continuous-tuning path (shadow validation) clones through
-// this so a dying clone build surfaces as an error the caller can retry or
+// this so a refused snapshot surfaces as an error the caller can retry or
 // degrade on, instead of an invariant the loop silently assumes.
 func (db *DB) CloneChecked(name string) (*DB, error) {
 	st, err := db.Store.CloneChecked()
@@ -496,6 +500,11 @@ func (db *DB) CloneChecked(name string) (*DB, error) {
 	}
 	return db.cloneFrom(name, st), nil
 }
+
+// Release retires a snapshot database for the storage.snapshots_live gauge.
+// Idempotent; a no-op on non-snapshot databases. Dropping a snapshot without
+// releasing it is safe — this only keeps the gauge honest.
+func (db *DB) Release() { db.Store.Release() }
 
 func (db *DB) cloneFrom(name string, store *storage.Store) *DB {
 	out := &DB{

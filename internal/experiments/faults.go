@@ -138,7 +138,10 @@ func automationIndexKeys(db *engine.DB) []string {
 
 // checkLoopInvariants cross-checks catalog against store and validates
 // every index tree: a partially built or half-dropped index must never be
-// visible, no matter which phase a fault interrupted.
+// visible, no matter which phase a fault interrupted. Tree.Validate also
+// enforces the copy-on-write epoch invariants (node epoch <= parent epoch <=
+// handle epoch <= family clock), so every per-cycle audit here doubles as a
+// cross-snapshot mutation check on the stores the shadow clones came from.
 func checkLoopInvariants(db *engine.DB) error {
 	for _, ix := range db.Schema.Indexes() {
 		if ix.Hypothetical {

@@ -164,16 +164,26 @@ func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor,
 		return verdict(&Report{Accepted: false, Code: CodeNoCandidates, Reason: "no candidate indexes"})
 	}
 
-	// makeClones builds a fresh baseline/test pair from production, with the
-	// candidates materialized on the test side in one batch (the per-index
-	// builds fan out over the storage worker pool). Rebuilding restores
-	// comparability after a divergence (the engine has no transactions to
-	// roll back a half-applied replay). The whole pair is built or none of
-	// it: a clone or materialization failure discards both sides, and
-	// clonePolicy retries from scratch with backoff.
+	// makeClones builds a fresh baseline/test pair from production as O(1)
+	// copy-on-write snapshots, with the candidates materialized on the test
+	// side in one batch (the per-index builds fan out over the storage
+	// worker pool). Rebuilding restores comparability after a divergence
+	// (the engine has no transactions to roll back a half-applied replay).
+	// The whole pair is built or none of it: a snapshot or materialization
+	// failure discards both sides, and clonePolicy retries from scratch
+	// with backoff. Discarded and superseded snapshot handles are Released
+	// so the storage.snapshots_live gauge tracks the pair actually held.
+	release := func(dbs ...*engine.DB) {
+		for _, d := range dbs {
+			if d != nil {
+				d.Release()
+			}
+		}
+	}
 	makeClones := func() (*engine.DB, *engine.DB, error) {
 		var baseline, test *engine.DB
 		err := clonePolicy.Do(func() error {
+			release(baseline, test)
 			baseline, test = nil, nil
 			if err := failpoint.Inject("shadow.clone"); err != nil {
 				return err
@@ -213,6 +223,7 @@ func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor,
 			Reason:   fmt.Sprintf("clone environment unavailable: %v", err),
 		})
 	}
+	defer func() { release(baseline, test) }()
 
 	rep = &Report{}
 	improvedOne := false
@@ -233,6 +244,7 @@ func Validate(db *engine.DB, candidates []*catalog.Index, mon *workload.Monitor,
 			if errors.Is(rerr, errDiverged) {
 				rep.Divergent = append(rep.Divergent, q.Normalized)
 				reg.Counter("shadow.divergent").Inc()
+				release(baseline, test)
 				if baseline, test, err = makeClones(); err != nil {
 					rep.Degraded = true
 					rep.Code = CodeCloneRebuildFailed

@@ -3,6 +3,7 @@ package storage
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"sync"
@@ -13,63 +14,71 @@ import (
 	"aim/internal/sqltypes"
 )
 
-// benchRows is the fixture size for the storage fast-path benchmarks: large
-// enough that tree height and leaf-chain length dominate, small enough that
-// the incremental baselines still finish in a benchtime.
+// benchRows is the default fixture size for the storage fast-path
+// benchmarks: large enough that tree height dominates, small enough that the
+// incremental baselines still finish in a benchtime.
 const benchRows = 100_000
 
 var (
-	benchOnce  sync.Once
-	benchState *Store
+	benchMu     sync.Mutex
+	benchStates = map[int]*Store{}
 )
 
-// benchFixture returns a shared 100k-row store: one table with two
+// benchFixtureSized returns a cached store with rows event rows and two
 // materialized secondary indexes, loaded through the sorted batch path.
-func benchFixture(tb testing.TB) *Store {
+// Callers must not mutate it directly — take a Clone and mutate that; COW
+// keeps the shared fixture frozen.
+func benchFixtureSized(tb testing.TB, rows int) *Store {
 	tb.Helper()
-	benchOnce.Do(func() {
-		def, err := catalog.NewTable("events", []catalog.Column{
-			{Name: "id", Type: sqltypes.KindInt},
-			{Name: "user_id", Type: sqltypes.KindInt},
-			{Name: "kind", Type: sqltypes.KindString},
-			{Name: "day", Type: sqltypes.KindInt},
-		}, []string{"id"})
-		if err != nil {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if s, ok := benchStates[rows]; ok {
+		return s
+	}
+	def, err := catalog.NewTable("events", []catalog.Column{
+		{Name: "id", Type: sqltypes.KindInt},
+		{Name: "user_id", Type: sqltypes.KindInt},
+		{Name: "kind", Type: sqltypes.KindString},
+		{Name: "day", Type: sqltypes.KindInt},
+	}, []string{"id"})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s := NewStore()
+	tbl, err := s.CreateTable(def)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	kinds := []string{"view", "click", "buy", "hide"}
+	batch := make([]sqltypes.Row, rows)
+	for i := range batch {
+		batch[i] = sqltypes.Row{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewInt(int64((i * 7) % 9973)),
+			sqltypes.NewString(kinds[i%len(kinds)]),
+			sqltypes.NewInt(int64(i % 365)),
+		}
+	}
+	if err := tbl.InsertBatch(batch, nil); err != nil {
+		tb.Fatal(err)
+	}
+	for _, ix := range []*catalog.Index{
+		{Name: "ix_events_user", Table: "events", Columns: []string{"user_id"}},
+		{Name: "ix_events_kind_day", Table: "events", Columns: []string{"kind", "day"}},
+	} {
+		if _, err := tbl.BuildIndex(ix, nil); err != nil {
 			tb.Fatal(err)
 		}
-		s := NewStore()
-		tbl, err := s.CreateTable(def)
-		if err != nil {
-			tb.Fatal(err)
-		}
-		kinds := []string{"view", "click", "buy", "hide"}
-		rows := make([]sqltypes.Row, benchRows)
-		for i := range rows {
-			rows[i] = sqltypes.Row{
-				sqltypes.NewInt(int64(i)),
-				sqltypes.NewInt(int64((i * 7) % 9973)),
-				sqltypes.NewString(kinds[i%len(kinds)]),
-				sqltypes.NewInt(int64(i % 365)),
-			}
-		}
-		if err := tbl.InsertBatch(rows, nil); err != nil {
-			tb.Fatal(err)
-		}
-		for _, ix := range []*catalog.Index{
-			{Name: "ix_events_user", Table: "events", Columns: []string{"user_id"}},
-			{Name: "ix_events_kind_day", Table: "events", Columns: []string{"kind", "day"}},
-		} {
-			if _, err := tbl.BuildIndex(ix, nil); err != nil {
-				tb.Fatal(err)
-			}
-		}
-		benchState = s
-	})
-	return benchState
+	}
+	benchStates[rows] = s
+	return s
 }
 
-// cloneIncremental is the pre-bulk-path baseline: rebuild every tree by
-// re-inserting each entry with Put, O(n log n) per tree.
+func benchFixture(tb testing.TB) *Store { return benchFixtureSized(tb, benchRows) }
+
+// cloneIncremental is the pre-COW deep-copy baseline: rebuild every tree by
+// re-inserting each entry with Put, O(n log n) per tree. This is what
+// Store.Clone cost before snapshots became O(1) root-pointer copies.
 func cloneIncremental(s *Store) *Store {
 	out := &Store{tables: map[string]*Table{}, Workers: s.Workers}
 	for name, t := range s.tables {
@@ -106,6 +115,17 @@ func buildIndexIncremental(t *Table, def *catalog.Index) *Index {
 	return ix
 }
 
+// eventRow rebuilds the fixture row for id i, for benchmark DML churn.
+func eventRow(i int64) sqltypes.Row {
+	kinds := []string{"view", "click", "buy", "hide"}
+	return sqltypes.Row{
+		sqltypes.NewInt(i),
+		sqltypes.NewInt((i * 7) % 9973),
+		sqltypes.NewString(kinds[i%int64(len(kinds))]),
+		sqltypes.NewInt(i % 365),
+	}
+}
+
 var benchSink interface{}
 
 func BenchmarkStoreClone(b *testing.B) {
@@ -121,6 +141,45 @@ func BenchmarkStoreCloneIncremental(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		benchSink = cloneIncremental(s)
+	}
+}
+
+// BenchmarkStoreSnapshot measures the O(1) snapshot path across row counts;
+// the report run gates these timings as row-count-independent.
+func BenchmarkStoreSnapshot(b *testing.B) {
+	for _, rows := range []int{10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			s := benchFixtureSized(b, rows)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap := s.Clone()
+				snap.Release()
+				benchSink = snap
+			}
+		})
+	}
+}
+
+// BenchmarkCloneUnderDML measures the snapshot cycle a shadow validation
+// round performs: take a snapshot of a store whose COW head is under write
+// churn, so every clone lands on a freshly-copied path structure.
+func BenchmarkCloneUnderDML(b *testing.B) {
+	live := benchFixture(b).Clone() // private COW head; the fixture stays frozen
+	tbl := live.Table("events")
+	r := rand.New(rand.NewSource(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for k := 0; k < 32; k++ {
+			id := int64(r.Intn(benchRows))
+			if err := tbl.Update(tbl.PKKey(eventRow(id)), eventRow(id), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		snap := live.Clone()
+		snap.Release()
+		benchSink = snap
 	}
 }
 
@@ -146,15 +205,52 @@ func BenchmarkBuildIndexIncremental(b *testing.B) {
 	}
 }
 
+// storeFootprint sums the btree footprints of every table and index tree.
+func storeFootprint(s *Store) btree.Footprint {
+	var f btree.Footprint
+	for _, t := range s.tables {
+		df := t.data.Footprint()
+		f.Nodes += df.Nodes
+		f.Bytes += df.Bytes
+		for _, ix := range t.indexes {
+			xf := ix.tree.Footprint()
+			f.Nodes += xf.Nodes
+			f.Bytes += xf.Bytes
+		}
+	}
+	return f
+}
+
+// storeShared sums the structurally shared footprint between matching trees
+// of a clone pair.
+func storeShared(live, snap *Store) btree.Footprint {
+	var f btree.Footprint
+	for name, t := range live.tables {
+		st := snap.tables[name]
+		sf := t.data.SharedFootprint(st.data)
+		f.Nodes += sf.Nodes
+		f.Bytes += sf.Bytes
+		for iname, ix := range t.indexes {
+			xf := ix.tree.SharedFootprint(st.indexes[iname].tree)
+			f.Nodes += xf.Nodes
+			f.Bytes += xf.Bytes
+		}
+	}
+	return f
+}
+
 // TestBenchStorageReport runs the storage fast-path benchmarks against their
-// incremental baselines and records the results in BENCH_storage.json at the
-// repo root. Wall-clock sensitive, so it is env-gated out of plain
-// `go test ./...`; `make benchstorage` invokes it.
+// baselines and records the results in BENCH_storage.json at the repo root:
+// snapshot ns/op across 10k/100k/1M rows (gated row-count-independent),
+// COW clone vs the old deep-copy clone (gated >= 100x at 100k rows), index
+// build vs incremental (gated >= 3x), and the memory amplification of a
+// snapshot after 1000 DML ops (bytes shared vs copied). Wall-clock
+// sensitive, so it is env-gated out of plain `go test ./...`;
+// `make benchstorage` invokes it.
 func TestBenchStorageReport(t *testing.T) {
 	if os.Getenv("AIM_BENCH_STORAGE") == "" {
 		t.Skip("set AIM_BENCH_STORAGE=1 to run (invoked by make benchstorage)")
 	}
-	benchFixture(t)
 
 	type entry struct {
 		NsPerOp    int64 `json:"ns_per_op"`
@@ -167,34 +263,106 @@ func TestBenchStorageReport(t *testing.T) {
 	bench := map[string]entry{
 		"StoreClone":            run(BenchmarkStoreClone),
 		"StoreCloneIncremental": run(BenchmarkStoreCloneIncremental),
+		"CloneUnderDML":         run(BenchmarkCloneUnderDML),
 		"BuildIndex":            run(BenchmarkBuildIndex),
 		"BuildIndexIncremental": run(BenchmarkBuildIndexIncremental),
 	}
+
+	// Snapshot latency across row counts: O(1) means flat.
+	snapshotNs := map[string]int64{}
+	var minNs, maxNs int64
+	for _, rows := range []int{10_000, 100_000, 1_000_000} {
+		rows := rows
+		e := run(func(b *testing.B) {
+			s := benchFixtureSized(b, rows)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap := s.Clone()
+				snap.Release()
+				benchSink = snap
+			}
+		})
+		snapshotNs[fmt.Sprintf("%d", rows)] = e.NsPerOp
+		if minNs == 0 || e.NsPerOp < minNs {
+			minNs = e.NsPerOp
+		}
+		if e.NsPerOp > maxNs {
+			maxNs = e.NsPerOp
+		}
+	}
+	flatness := float64(maxNs) / float64(minNs)
+	t.Logf("snapshot ns/op by rows: %v (flatness %.2fx)", snapshotNs, flatness)
+	if flatness > 10 {
+		t.Errorf("snapshot latency varies %.2fx across 10k..1M rows, want row-count-independent (<= 10x)", flatness)
+	}
+
+	// Memory amplification: snapshot a 100k store, run 1000 DML ops on the
+	// live head, and report how much of the store is still shared.
+	const dmlOps = 1000
+	live := benchFixture(t).Clone()
+	snap := live.Clone()
+	tbl := live.Table("events")
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < dmlOps; i++ {
+		id := int64(r.Intn(benchRows))
+		if err := tbl.Update(tbl.PKKey(eventRow(id)), eventRow(id), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := storeFootprint(live)
+	shared := storeShared(live, snap)
+	snap.Release()
+	live.Release()
+
 	ratio := func(base, fast string) float64 {
 		return float64(bench[base].NsPerOp) / float64(bench[fast].NsPerOp)
 	}
 	report := struct {
-		Rows       int                `json:"rows"`
-		GoVersion  string             `json:"go_version"`
-		GOMAXPROCS int                `json:"gomaxprocs"`
-		Benchmarks map[string]entry   `json:"benchmarks"`
-		Speedup    map[string]float64 `json:"speedup"`
+		Rows           int                `json:"rows"`
+		GoVersion      string             `json:"go_version"`
+		GOMAXPROCS     int                `json:"gomaxprocs"`
+		Benchmarks     map[string]entry   `json:"benchmarks"`
+		SnapshotNsRows map[string]int64   `json:"snapshot_ns_by_rows"`
+		CloneFlatness  float64            `json:"clone_flatness_ratio"`
+		Speedup        map[string]float64 `json:"speedup"`
+		Memory         struct {
+			DMLOps        int     `json:"dml_ops"`
+			LiveBytes     int64   `json:"live_bytes"`
+			SharedBytes   int64   `json:"shared_bytes"`
+			CopiedBytes   int64   `json:"copied_bytes"`
+			SharedPercent float64 `json:"shared_percent"`
+		} `json:"memory_amplification"`
 	}{
-		Rows:       benchRows,
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Benchmarks: bench,
+		Rows:           benchRows,
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Benchmarks:     bench,
+		SnapshotNsRows: snapshotNs,
+		CloneFlatness:  flatness,
 		Speedup: map[string]float64{
 			"clone":       ratio("StoreCloneIncremental", "StoreClone"),
 			"build_index": ratio("BuildIndexIncremental", "BuildIndex"),
 		},
 	}
-	for name, sp := range report.Speedup {
-		t.Logf("%s speedup: %.2fx", name, sp)
-		if sp < 3 {
-			t.Errorf("%s fast path only %.2fx over the incremental baseline, want >= 3x", name, sp)
-		}
+	report.Memory.DMLOps = dmlOps
+	report.Memory.LiveBytes = total.Bytes
+	report.Memory.SharedBytes = shared.Bytes
+	report.Memory.CopiedBytes = total.Bytes - shared.Bytes
+	report.Memory.SharedPercent = 100 * float64(shared.Bytes) / float64(total.Bytes)
+
+	t.Logf("clone speedup: %.0fx, build_index speedup: %.2fx", report.Speedup["clone"], report.Speedup["build_index"])
+	t.Logf("memory after %d DML ops: %.1f%% shared (%d of %d bytes)",
+		dmlOps, report.Memory.SharedPercent, shared.Bytes, total.Bytes)
+	if report.Speedup["clone"] < 100 {
+		t.Errorf("COW clone only %.0fx over the deep-copy baseline at %d rows, want >= 100x", report.Speedup["clone"], benchRows)
 	}
+	if report.Speedup["build_index"] < 3 {
+		t.Errorf("build_index fast path only %.2fx over the incremental baseline, want >= 3x", report.Speedup["build_index"])
+	}
+	if report.Memory.SharedPercent < 50 {
+		t.Errorf("only %.1f%% of the store shared after %d DML ops — structural sharing is not holding", report.Memory.SharedPercent, dmlOps)
+	}
+
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -202,6 +370,6 @@ func TestBenchStorageReport(t *testing.T) {
 	if err := os.WriteFile("../../BENCH_storage.json", append(out, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	fmt.Printf("wrote BENCH_storage.json: clone %.2fx, build_index %.2fx\n",
-		report.Speedup["clone"], report.Speedup["build_index"])
+	fmt.Printf("wrote BENCH_storage.json: clone %.0fx, flatness %.2fx, shared %.1f%%\n",
+		report.Speedup["clone"], flatness, report.Memory.SharedPercent)
 }

@@ -1,0 +1,189 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"aim/internal/obs"
+)
+
+// dmlChurn runs a deterministic mix of inserts, updates, and deletes against
+// the live store's users table.
+func dmlChurn(t testing.TB, s *Store, seed int64, ops, keyspace int) {
+	t.Helper()
+	tbl := s.Table("users")
+	r := rand.New(rand.NewSource(seed))
+	for op := 0; op < ops; op++ {
+		i := int64(r.Intn(keyspace))
+		key := tbl.PKKey(userRow(i, "", 0, ""))
+		switch op % 3 {
+		case 0:
+			row := userRow(i, fmt.Sprintf("mut%d", op), i%80, "cX")
+			if _, ok := tbl.GetByPK(key, nil); ok {
+				if err := tbl.Update(key, row, nil); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := tbl.Insert(row, nil); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			tbl.DeleteByPK(key, nil)
+		case 2:
+			row := userRow(int64(keyspace)+int64(op), fmt.Sprintf("new%d", op), int64(op%80), "cY")
+			if err := tbl.Insert(row, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestStoreSnapshotStabilityUnderDML is the store-level differential test:
+// an O(1) snapshot must render byte-identically to its clone-time state while
+// the live store absorbs inserts, updates, and deletes — across base tables
+// and every secondary index.
+func TestStoreSnapshotStabilityUnderDML(t *testing.T) {
+	s := seededStore(t, 2000)
+	snap := s.Clone()
+	defer snap.Release()
+	want := renderStore(snap)
+
+	dmlChurn(t, s, 99, 5000, 2500)
+
+	if got := renderStore(snap); got != want {
+		t.Fatal("snapshot render drifted under live DML")
+	}
+	for _, tbl := range snap.tables {
+		if err := tbl.Data().Validate(); err != nil {
+			t.Fatalf("snapshot table %s: %v", tbl.Def.Name, err)
+		}
+		for _, ix := range tbl.indexes {
+			if err := ix.Tree().Validate(); err != nil {
+				t.Fatalf("snapshot index %s: %v", ix.Def.Name, err)
+			}
+		}
+	}
+	for _, tbl := range s.tables {
+		if err := tbl.Data().Validate(); err != nil {
+			t.Fatalf("live table %s: %v", tbl.Def.Name, err)
+		}
+		for _, ix := range tbl.indexes {
+			if err := ix.Tree().Validate(); err != nil {
+				t.Fatalf("live index %s: %v", ix.Def.Name, err)
+			}
+		}
+	}
+}
+
+// TestSnapshotScrapeDuringDML is the -race store variant: concurrent
+// goroutines render the frozen snapshot and scrape an instrumented registry
+// while the main goroutine runs DML against the live store — the pattern a
+// telemetry scrape hits when it lands mid shadow-validation.
+func TestSnapshotScrapeDuringDML(t *testing.T) {
+	r := obs.NewRegistry()
+	Instrument(r)
+	defer Instrument(nil)
+
+	s := seededStore(t, 1000)
+	snap := s.Clone()
+	defer snap.Release()
+	want := renderStore(snap)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 10; rep++ {
+				if renderStore(snap) != want {
+					t.Error("concurrent snapshot render drifted")
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for rep := 0; rep < 50; rep++ {
+			snap := r.Snapshot()
+			if _, ok := snap.Gauges["storage.cow_node_copies"]; !ok {
+				t.Error("scrape missing storage.cow_node_copies")
+				return
+			}
+		}
+	}()
+	dmlChurn(t, s, 7, 8000, 1200)
+	wg.Wait()
+}
+
+// TestSnapshotMetrics checks the new observability surface end to end:
+// snapshots_live tracks Clone/Release, shared_bytes reports the structurally
+// shared store size at clone time, and cow_node_copies advances as the live
+// writer path-copies shared nodes.
+func TestSnapshotMetrics(t *testing.T) {
+	r := obs.NewRegistry()
+	Instrument(r)
+	defer Instrument(nil)
+
+	s := seededStore(t, 500)
+	copiesBefore := r.Snapshot().Gauges["storage.cow_node_copies"]
+
+	snap := s.Clone()
+	g := r.Snapshot().Gauges
+	if got := g["storage.snapshots_live"]; got != 1 {
+		t.Fatalf("snapshots_live after clone = %v, want 1", got)
+	}
+	if got := g["storage.shared_bytes"]; got <= 0 {
+		t.Fatalf("shared_bytes after clone = %v, want > 0", got)
+	}
+
+	second := s.Clone()
+	if got := r.Snapshot().Gauges["storage.snapshots_live"]; got != 2 {
+		t.Fatalf("snapshots_live after second clone = %v, want 2", got)
+	}
+
+	dmlChurn(t, s, 3, 500, 600)
+	if got := r.Snapshot().Gauges["storage.cow_node_copies"]; got <= copiesBefore {
+		t.Fatalf("cow_node_copies did not advance under DML: %v -> %v", copiesBefore, got)
+	}
+
+	snap.Release()
+	snap.Release() // idempotent
+	second.Release()
+	if got := r.Snapshot().Gauges["storage.snapshots_live"]; got != 0 {
+		t.Fatalf("snapshots_live after releases = %v, want 0", got)
+	}
+
+	// Release on a non-snapshot (origin) store is a no-op.
+	s.Release()
+	if got := r.Snapshot().Gauges["storage.snapshots_live"]; got != 0 {
+		t.Fatalf("snapshots_live after origin Release = %v, want 0", got)
+	}
+}
+
+// TestSnapshotSharedFootprint ties store-level clones to the btree
+// amplification accounting: immediately after a clone the users trees share
+// everything; after DML the shared set shrinks while the snapshot side is
+// untouched.
+func TestSnapshotSharedFootprint(t *testing.T) {
+	s := seededStore(t, 2000)
+	snap := s.Clone()
+	defer snap.Release()
+
+	live := s.Table("users").Data()
+	frozen := snap.Table("users").Data()
+	if live.SharedFootprint(frozen) != live.Footprint() {
+		t.Fatal("clone did not share the full users tree")
+	}
+	before := frozen.Footprint()
+	dmlChurn(t, s, 11, 2000, 2500)
+	sh := live.SharedFootprint(frozen)
+	if sh.Bytes >= live.Footprint().Bytes {
+		t.Fatal("shared bytes did not shrink under DML")
+	}
+	if frozen.Footprint() != before {
+		t.Fatal("DML changed the snapshot tree footprint")
+	}
+}

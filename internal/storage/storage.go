@@ -19,7 +19,6 @@ import (
 	"aim/internal/catalog"
 	"aim/internal/failpoint"
 	"aim/internal/obs"
-	"aim/internal/pool"
 	"aim/internal/sqltypes"
 )
 
@@ -27,7 +26,9 @@ import (
 // atomically as a unit (same pattern as internal/pool).
 type metricsSet struct {
 	bulkRows     *obs.Counter   // entries loaded through a bulk path
-	clones       *obs.Counter   // store clones performed
+	clones       *obs.Counter   // store snapshots taken
+	snapshots    *obs.Gauge     // snapshot handles taken minus released
+	sharedBytes  *obs.Gauge     // store bytes structurally shared at the last snapshot
 	cloneSeconds *obs.Histogram // wall clock per Store.Clone
 	buildSeconds *obs.Histogram // wall clock per index build
 	leafFill     *obs.Histogram // leaf fill % of bulk-built trees
@@ -37,7 +38,10 @@ type metricsSet struct {
 var instr atomic.Pointer[metricsSet]
 
 // Instrument attaches storage metrics to the registry (nil detaches):
-// storage.{bulk_rows,clones} counters and the
+// storage.{bulk_rows,clones} counters, the
+// storage.{snapshots_live,shared_bytes} gauges, the monotone
+// storage.cow_node_copies gauge (fed by the btree writer's path-copy
+// counter, sampled at scrape time), and the
 // storage.{clone_seconds,index_build_seconds,bulk_leaf_fill} histograms.
 // Metrics never influence behaviour — clones and builds are byte-identical
 // with instrumentation on or off.
@@ -46,9 +50,12 @@ func Instrument(r *obs.Registry) {
 		instr.Store(nil)
 		return
 	}
+	r.GaugeFunc("storage.cow_node_copies", btree.COWNodeCopies)
 	instr.Store(&metricsSet{
 		bulkRows:     r.Counter("storage.bulk_rows"),
 		clones:       r.Counter("storage.clones"),
+		snapshots:    r.Gauge("storage.snapshots_live"),
+		sharedBytes:  r.Gauge("storage.shared_bytes"),
 		cloneSeconds: r.Histogram("storage.clone_seconds"),
 		buildSeconds: r.Histogram("storage.index_build_seconds"),
 		leafFill:     r.Histogram("storage.bulk_leaf_fill"),
@@ -469,11 +476,18 @@ func (t *Table) DropIndex(name string) bool {
 // Store is a collection of tables keyed by lower-cased name.
 type Store struct {
 	tables map[string]*Table
-	// Workers bounds the fan-out of per-tree clone work (0 = GOMAXPROCS).
-	// Clone output is structural — byte-identical at any worker count — so
-	// this only trades wall clock for cores. Set before concurrent use;
-	// clones inherit the setting.
+	// Workers bounds the fan-out of parallel index builds
+	// (engine.CreateIndexes; 0 = GOMAXPROCS). Builds are structural —
+	// byte-identical at any worker count — so this only trades wall clock
+	// for cores. Clone no longer fans out (copy-on-write snapshots are O(1)
+	// pointer copies), but clones still inherit the setting for the builds
+	// they run. Set before concurrent use.
 	Workers int
+	// snapshot/released drive the storage.snapshots_live gauge: Clone marks
+	// the new handle a snapshot, Release retires it. Best-effort accounting
+	// only; a never-released snapshot is simply garbage-collected.
+	snapshot bool
+	released bool
 }
 
 // NewStore returns an empty store.
@@ -505,9 +519,12 @@ func (s *Store) TotalIndexBytes() int64 {
 }
 
 // CloneChecked is Clone behind the "storage.clone" failpoint: the fault
-// harness arms it to make clone builds die mid-flight, and hardened callers
-// (shadow validation, the engine's CloneChecked) retry or degrade. Plain
-// Clone stays infallible for callers with no failure path.
+// harness arms it to make snapshots die before they are taken, and hardened
+// callers (shadow validation, the engine's CloneChecked) retry or degrade.
+// Plain Clone stays infallible for callers with no failure path. Note the
+// semantics shift with copy-on-write snapshots: the fault no longer models a
+// row-copy dying mid-build (there is no row copy), it models the snapshot
+// being refused outright — callers observe the identical error surface.
 func (s *Store) CloneChecked() (*Store, error) {
 	if err := failpoint.Inject("storage.clone"); err != nil {
 		return nil, err
@@ -515,41 +532,60 @@ func (s *Store) CloneChecked() (*Store, error) {
 	return s.Clone(), nil
 }
 
-// Clone produces a deep logical copy of the store: rows and key bytes are
-// shared (both are treated as immutable once stored — all mutations replace
-// rows), trees are copied leaf-chain-for-leaf-chain in O(n) via
-// btree.Clone. Per-tree copy work (each table's clustered tree and every
-// secondary index tree) fans out over the worker pool; every job writes
-// only its own pre-assigned slot, so the result is byte-identical at any
-// worker count. This is the substrate for the MyShadow clone environment.
+// Clone takes a copy-on-write snapshot of the store in O(1) per tree:
+// every B+tree is shared structurally via btree.Clone (a root-pointer copy
+// that re-epochs both handles), and only the per-table/per-index metadata —
+// maps, definitions, byte accounting — is copied. Rows and key bytes are
+// shared outright (both are treated as immutable once stored — all mutations
+// replace rows); tree nodes are shared until a writer on either handle
+// path-copies them. Cost is proportional to the number of tables and
+// indexes, independent of row count.
+//
+// Clone must be serialized with writers to this store (it re-epochs the
+// source trees); the returned snapshot may then be read concurrently with
+// live DML on the source — this is the substrate for the MyShadow clone
+// environment and the regression detector's historical snapshots.
 func (s *Store) Clone() *Store {
 	start := time.Now()
-	out := &Store{tables: map[string]*Table{}, Workers: s.Workers}
-	// Assemble the full result skeleton and the flat job list sequentially;
-	// only the tree copies themselves run on the pool.
-	var jobs []func()
-	var entries int64
+	out := &Store{tables: make(map[string]*Table, len(s.tables)), Workers: s.Workers, snapshot: true}
+	var shared int64
 	for name, t := range s.tables {
-		t := t
-		nt := &Table{Def: t.Def, indexes: map[string]*Index{}, bytes: t.bytes}
-		jobs = append(jobs, func() { nt.data = t.data.Clone() })
-		entries += int64(t.data.Len())
+		nt := &Table{Def: t.Def, data: t.data.Clone(), indexes: make(map[string]*Index, len(t.indexes)), bytes: t.bytes}
+		shared += t.bytes
 		for iname, ix := range t.indexes {
-			ix := ix
 			def := *ix.Def
 			def.Columns = append([]string(nil), ix.Def.Columns...)
-			nix := &Index{Def: &def, ordinals: append([]int(nil), ix.ordinals...), pkOrds: ix.pkOrds, bytes: ix.bytes}
-			jobs = append(jobs, func() { nix.tree = ix.tree.Clone() })
-			entries += int64(ix.tree.Len())
-			nt.indexes[iname] = nix
+			nt.indexes[iname] = &Index{
+				Def:      &def,
+				tree:     ix.tree.Clone(),
+				ordinals: append([]int(nil), ix.ordinals...),
+				pkOrds:   ix.pkOrds,
+				bytes:    ix.bytes,
+			}
+			shared += ix.bytes
 		}
 		out.tables[name] = nt
 	}
-	pool.ForEach(s.Workers, len(jobs), func(i int) { jobs[i]() })
 	if ms := instr.Load(); ms != nil {
 		ms.clones.Inc()
-		ms.bulkRows.Add(entries)
+		ms.snapshots.Add(1)
+		ms.sharedBytes.Set(shared)
 		ms.cloneSeconds.Observe(time.Since(start).Seconds())
 	}
 	return out
+}
+
+// Release retires a snapshot handle for the storage.snapshots_live gauge.
+// Idempotent, and a no-op on stores that are not snapshots. Dropping a
+// snapshot without releasing it is safe (the garbage collector reclaims
+// unshared nodes); Release only keeps the gauge honest for long-running
+// services.
+func (s *Store) Release() {
+	if !s.snapshot || s.released {
+		return
+	}
+	s.released = true
+	if ms := instr.Load(); ms != nil {
+		ms.snapshots.Add(-1)
+	}
 }
