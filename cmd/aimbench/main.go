@@ -13,6 +13,7 @@
 //	aimbench -exp exec                # row vs vectorized executor replay bench
 //	aimbench -exp scenario -scenario drift   # one adversarial scenario
 //	aimbench -exp scenario -scenario all     # the whole adversarial suite
+//	aimbench -exp serve               # live aimd fleet vs offline replay
 //	aimbench -exp all                 # everything (slow)
 //
 // -fast shrinks datasets for quick smoke runs. -metrics dumps the
@@ -49,7 +50,7 @@ var obsReg *obs.Registry
 var contAuditOut, contTelemetryAddr string
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|fig3|fig4|fig5|fig6|continuous|exec|scenario|all")
+	exp := flag.String("exp", "all", "experiment: table2|fig3|fig4|fig5|fig6|continuous|exec|scenario|serve|all")
 	bench := flag.String("bench", "tpch", "benchmark for fig4: tpch|job")
 	scenario := flag.String("scenario", "all", "adversarial scenario for -exp scenario: "+strings.Join(scenarios.Names(), "|")+"|all")
 	product := flag.String("product", "C", "product for fig3: A..G")
@@ -123,6 +124,8 @@ func main() {
 		run("Executor replay bench", func() error { return runExecBench(*fast) })
 	case "scenario":
 		run("Adversarial scenarios", func() error { return runScenarios(*scenario, *fast) })
+	case "serve":
+		run("Live serving (aimd fleet)", func() error { return runServe(*fast, *workers) })
 	case "all":
 		run("Table II", func() error { return runTable2(*fast) })
 		run("Figure 3", func() error { return runFig3(*product, *fast) })

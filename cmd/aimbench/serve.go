@@ -1,0 +1,46 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"aim/internal/experiments"
+)
+
+// runServe drives the live-serving experiment: a real aimd server on
+// loopback with a seeded concurrent client fleet, swept across advisor
+// worker counts, cross-checked against the offline batch replay of the
+// same statement stream (see experiments.RunServeSuite).
+func runServe(fast bool, workers int) error {
+	opts := experiments.DefaultServeSuiteOptions()
+	if fast {
+		opts.Clients = 4
+		opts.Rounds = 3
+		opts.PerRound = 12
+		opts.Rows = 600
+	}
+	if workers > 0 {
+		opts.Parallelism = []int{workers}
+	}
+	res, err := experiments.RunServeSuite(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reference index set (offline replay): %s\n", strings.Join(res.ReferenceKeys, ", "))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Workers\tStmts\tRows\tAdoptions\tReverted\tDrain(s)\tJournal")
+	for _, run := range res.Runs {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%.3f\t%d records\n",
+			run.Workers, run.Statements, run.Rows, run.Adoptions, run.Reverted, run.DrainSeconds, len(run.Journal))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("verdicts (identical across workers and vs offline replay):")
+	for _, line := range res.ReferenceVerdicts {
+		fmt.Println("  " + line)
+	}
+	return nil
+}

@@ -21,6 +21,9 @@
 //	aimctl explain orders.aim_orders_1a2b3c4d -journal aim.jsonl [-trace spans.json]
 //	    reconstruct why an index was created (or a candidate rejected) from
 //	    the decision journal; -trace annotates each step with its span name.
+//
+//	aimctl remote -addr 127.0.0.1:4440 "SELECT ..." | -tune | -ping
+//	    talk to a running aimd over the wire protocol (see cmd/aimd).
 package main
 
 import (
@@ -57,6 +60,10 @@ UPDATE orders SET status = 'done' WHERE id = 42;
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "explain" {
 		runExplain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "remote" {
+		runRemote(os.Args[2:])
 		return
 	}
 	script := flag.String("script", "", "SQL script file (schema + data, then -- workload section)")

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aim/internal/server"
+)
+
+// runRemote is the `aimctl remote` subcommand: a thin wire-protocol client
+// for a running aimd. Statements come from the command line or, with none
+// given, from stdin one per line; -tune triggers one tuning cycle and
+// prints the verdict.
+//
+//	aimctl remote -addr 127.0.0.1:4440 "SELECT id FROM events WHERE user_id = 7"
+//	aimctl remote -addr 127.0.0.1:4440 -tune
+//	cat stmts.sql | aimctl remote -addr 127.0.0.1:4440
+func runRemote(args []string) {
+	fs := flag.NewFlagSet("aimctl remote", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:4440", "aimd address")
+	label := fs.String("label", "aimctl", "session label (window attribution)")
+	tune := fs.Bool("tune", false, "trigger one tuning cycle and print the verdict")
+	ping := fs.Bool("ping", false, "liveness round-trip only")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-frame round-trip bound")
+	fs.Parse(args) //nolint:errcheck
+
+	c, err := server.Dial(*addr, *timeout)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	if *ping {
+		if err := c.Ping(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("pong")
+		return
+	}
+	if err := c.Hello(*label); err != nil {
+		fatal(err)
+	}
+
+	run := func(sql string) {
+		res, err := c.Query(sql)
+		if err != nil {
+			fatal(err)
+		}
+		if res.Columns == nil && len(res.Rows) == 0 {
+			fmt.Printf("ok (%d rows affected)\n", res.Affected)
+			return
+		}
+		fmt.Println(strings.Join(res.Columns, "\t"))
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			fmt.Println(strings.Join(cells, "\t"))
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+	}
+
+	if stmts := fs.Args(); len(stmts) > 0 {
+		for _, sql := range stmts {
+			run(sql)
+		}
+	} else if !*tune {
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 0, 64*1024), server.MaxFrame)
+		for sc.Scan() {
+			line := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sc.Text()), ";"))
+			if line == "" || strings.HasPrefix(line, "--") {
+				continue
+			}
+			run(line)
+		}
+		if err := sc.Err(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *tune {
+		line, err := c.Tune()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(line)
+	}
+}

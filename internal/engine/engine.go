@@ -51,6 +51,13 @@ type DB struct {
 	// production handle, and a shadow clone writing duplicate records would
 	// corrupt the lineage.
 	audit *audit.Journal
+	// cloneGate, when set, is held around snapshot creation. COW clones must
+	// be serialized with writers to this DB; an embedding server installs
+	// its statement gate's write side here so shadow validation can snapshot
+	// mid-traffic (the O(1) clone holds the lock for microseconds) and then
+	// replay against the frozen snapshot while live DML proceeds. Clones do
+	// not inherit the gate — they are private to their creator.
+	cloneGate sync.Locker
 }
 
 // SetObs attaches a metrics registry to this database and its components
@@ -78,6 +85,12 @@ func (db *DB) SetAudit(j *audit.Journal) { db.audit = j }
 // tests and benchmarks pin the row loop to compare the two engines. Clones
 // inherit the setting (see cloneFrom). Call before concurrent use.
 func (db *DB) SetRowOnlyExec(rowOnly bool) { db.executor.RowOnly = rowOnly }
+
+// SetCloneGate installs a lock held around snapshot creation (nil removes
+// it). Callers that interleave live writers with Clone/CloneChecked — the
+// network server's tuning loop — pass the exclusive side of their write
+// gate; single-threaded drivers never need one. Call before concurrent use.
+func (db *DB) SetCloneGate(l sync.Locker) { db.cloneGate = l }
 
 // AuditJournal returns the attached journal, or nil when journaling is off.
 // The advisor, the shadow validator and the regression detector reach the
@@ -486,6 +499,10 @@ func (db *DB) TotalIndexBytes() int64 { return db.Store.TotalIndexBytes() }
 // Clone must be serialized with writers to this DB; the returned handle is
 // then fully independent.
 func (db *DB) Clone(name string) *DB {
+	if db.cloneGate != nil {
+		db.cloneGate.Lock()
+		defer db.cloneGate.Unlock()
+	}
 	return db.cloneFrom(name, db.Store.Clone())
 }
 
@@ -494,6 +511,10 @@ func (db *DB) Clone(name string) *DB {
 // this so a refused snapshot surfaces as an error the caller can retry or
 // degrade on, instead of an invariant the loop silently assumes.
 func (db *DB) CloneChecked(name string) (*DB, error) {
+	if db.cloneGate != nil {
+		db.cloneGate.Lock()
+		defer db.cloneGate.Unlock()
+	}
 	st, err := db.Store.CloneChecked()
 	if err != nil {
 		return nil, err

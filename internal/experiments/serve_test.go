@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// serveSuiteOptions picks the run size: the full 16-client acceptance run
+// when AIM_SERVE_SUITE=1 (the CI "servesuite" job via `make servesuite`), a
+// reduced fleet otherwise so the tier-1 `go test` stays fast. AIM_SERVE_SOAK=1
+// grows the run into the nightly soak, and AIM_SERVE_JOURNAL names the
+// decision-journal artifact it leaves behind.
+func serveSuiteOptions(t *testing.T) ServeSuiteOptions {
+	opts := DefaultServeSuiteOptions()
+	switch {
+	case os.Getenv("AIM_SERVE_SOAK") == "1":
+		opts.Rounds = 40
+		opts.PerRound = 25
+	case os.Getenv("AIM_SERVE_SUITE") != "1":
+		opts.Clients = 4
+		opts.Rounds = 3
+		opts.PerRound = 12
+		opts.Rows = 600
+		opts.Parallelism = []int{1, 2}
+		if testing.Short() {
+			opts.Rounds = 2
+			opts.Parallelism = []int{2}
+		}
+	}
+	opts.JournalPath = os.Getenv("AIM_SERVE_JOURNAL")
+	return opts
+}
+
+// TestServeSuite boots a real aimd server on loopback for every advisor
+// worker count in the sweep, drives a seeded concurrent client fleet over
+// TCP with a tuning cycle at each round barrier, and asserts the live-path
+// acceptance invariants:
+//
+//   - the fleet completes with zero statement errors and the server drains
+//     cleanly (no forced connections, connections_open back to 0, no
+//     buffered statements left behind);
+//   - the adopted index set equals the offline experiments.Loop replay of
+//     the same statement stream — the machinery the fault and scenario
+//     suites certify;
+//   - the per-round verdict lines are byte-identical across worker counts
+//     AND to an offline single-threaded tuner replay;
+//   - the normalized decision journals are identical across worker counts;
+//   - every adoption closes a complete audit lineage (candidate → selected
+//     rank → accepting shadow verdict → adopt): zero ungated adoptions.
+func TestServeSuite(t *testing.T) {
+	opts := serveSuiteOptions(t)
+	res, err := RunServeSuite(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != len(opts.Parallelism) {
+		t.Fatalf("got %d runs, want %d", len(res.Runs), len(opts.Parallelism))
+	}
+	t.Logf("reference index set: %v", res.ReferenceKeys)
+	for _, run := range res.Runs {
+		t.Logf("workers=%d stmts=%d rows=%d adoptions=%d reverted=%d drain=%.3fs journal=%d records",
+			run.Workers, run.Statements, run.Rows, run.Adoptions, run.Reverted, run.DrainSeconds, len(run.Journal))
+		if run.Adoptions == 0 {
+			t.Errorf("workers=%d: live run adopted nothing", run.Workers)
+		}
+	}
+	// RunServeSuite already failed hard on any divergence; spot-check the
+	// cross-run verdict equality here too so a future refactor of the
+	// harness cannot silently drop the assertion.
+	for i := 1; i < len(res.Runs); i++ {
+		if !equalStrings(res.Runs[i].Verdicts, res.Runs[0].Verdicts) {
+			t.Errorf("verdicts diverge between workers=%d and workers=%d", res.Runs[0].Workers, res.Runs[i].Workers)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package loadgen is a seeded, deterministic client-fleet load generator
+// for aimd: N concurrent connections replaying generated statement streams
+// over real TCP, in barrier-synchronized rounds. Within a round every
+// client issues its statements concurrently (real network interleaving,
+// real contention on the server's statement gate); between rounds the
+// fleet synchronizes, and optionally one control connection triggers a
+// tuning cycle — which is what makes a networked run comparable,
+// bit-for-bit, to an offline replay of the same stream.
+//
+// Determinism contract: the statement stream depends only on (Seed, client
+// index, round, position) via Stream; the fleet's scheduling never feeds
+// back into generation. Two runs with the same options produce the same
+// per-client statement sequences regardless of goroutine or network
+// interleaving.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aim/internal/server"
+)
+
+// Options shapes the fleet.
+type Options struct {
+	// Addr is the aimd address to connect to.
+	Addr string
+	// Clients is the fleet size (concurrent TCP connections).
+	Clients int
+	// Rounds is the number of barrier-synchronized rounds.
+	Rounds int
+	// PerRound is statements per client per round.
+	PerRound int
+	// Seed fixes every client's statement stream.
+	Seed int64
+	// Sample draws statement i of the given round for one client, from that
+	// client's private PRNG. It must not share state across clients.
+	Sample func(client, round, i int, r *rand.Rand) string
+	// TuneEachRound, when set, triggers one tuning cycle (OpTune) at each
+	// round barrier, after every client's statements are answered.
+	TuneEachRound bool
+	// Timeout bounds each frame round-trip (0 = 30s).
+	Timeout time.Duration
+}
+
+// Result summarizes a fleet run.
+type Result struct {
+	// Statements and Rows count successful statements and returned rows
+	// across the fleet.
+	Statements int64
+	Rows       int64
+	// Errors collects per-statement failures (remote or transport), in
+	// nondeterministic order. A healthy run has none.
+	Errors []string
+	// Verdicts are the per-round tuning verdict lines (TuneEachRound).
+	Verdicts []string
+}
+
+// Label returns the deterministic session label of one fleet client. The
+// zero-padded index keeps the canonical window sort order equal to client
+// index order.
+func Label(client int) string { return fmt.Sprintf("lg-%04d", client) }
+
+// Stream precomputes the full fleet statement stream:
+// stream[round][client*PerRound+i] is statement i of that client's round,
+// i.e. rounds are ordered by client index then issue order — exactly the
+// canonical (session, seq) window order the server's collector seals, and
+// the order an offline replay must execute.
+func Stream(opts Options) [][]string {
+	rngs := make([]*rand.Rand, opts.Clients)
+	for c := range rngs {
+		rngs[c] = rand.New(rand.NewSource(clientSeed(opts.Seed, c)))
+	}
+	out := make([][]string, opts.Rounds)
+	for round := 0; round < opts.Rounds; round++ {
+		stmts := make([]string, 0, opts.Clients*opts.PerRound)
+		for c := 0; c < opts.Clients; c++ {
+			for i := 0; i < opts.PerRound; i++ {
+				stmts = append(stmts, opts.Sample(c, round, i, rngs[c]))
+			}
+		}
+		out[round] = stmts
+	}
+	return out
+}
+
+// clientSeed derives one client's PRNG seed via splitmix64 so neighboring
+// client indexes get uncorrelated streams.
+func clientSeed(seed int64, client int) int64 {
+	z := uint64(seed) + uint64(client+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Run drives the fleet against a live server. Every client dials once,
+// declares its label, and replays its share of Stream(opts) round by
+// round; the round barrier holds until every client's statements are
+// answered. Connections close before Run returns.
+func Run(opts Options) (*Result, error) {
+	if opts.Clients <= 0 || opts.Rounds <= 0 || opts.PerRound <= 0 {
+		return nil, fmt.Errorf("loadgen: Clients, Rounds and PerRound must be positive: %+v", opts)
+	}
+	if opts.Sample == nil {
+		return nil, fmt.Errorf("loadgen: Sample is required")
+	}
+	stream := Stream(opts)
+
+	clients := make([]*server.Client, opts.Clients)
+	for c := range clients {
+		cl, err := server.Dial(opts.Addr, opts.Timeout)
+		if err != nil {
+			closeAll(clients)
+			return nil, err
+		}
+		clients[c] = cl
+		if err := cl.Hello(Label(c)); err != nil {
+			closeAll(clients)
+			return nil, fmt.Errorf("loadgen: hello %s: %v", Label(c), err)
+		}
+	}
+	defer closeAll(clients)
+
+	var control *server.Client
+	if opts.TuneEachRound {
+		cl, err := server.Dial(opts.Addr, opts.Timeout)
+		if err != nil {
+			return nil, err
+		}
+		control = cl
+		defer control.Close()
+	}
+
+	res := &Result{}
+	var stmts, rows atomic.Int64
+	var errMu sync.Mutex
+	for round := 0; round < opts.Rounds; round++ {
+		var wg sync.WaitGroup
+		for c := 0; c < opts.Clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				base := c * opts.PerRound
+				for i := 0; i < opts.PerRound; i++ {
+					r, err := clients[c].Query(stream[round][base+i])
+					if err != nil {
+						errMu.Lock()
+						res.Errors = append(res.Errors, fmt.Sprintf("%s r%d#%d: %v", Label(c), round, i, err))
+						errMu.Unlock()
+						continue
+					}
+					stmts.Add(1)
+					rows.Add(int64(len(r.Rows)))
+				}
+			}(c)
+		}
+		wg.Wait()
+		if control != nil {
+			line, err := control.Tune()
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: tune after round %d: %v", round, err)
+			}
+			res.Verdicts = append(res.Verdicts, line)
+		}
+	}
+	res.Statements = stmts.Load()
+	res.Rows = rows.Load()
+	return res, nil
+}
+
+func closeAll(clients []*server.Client) {
+	for _, cl := range clients {
+		if cl != nil {
+			cl.Close()
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"sort"
+	"sync"
+
+	"aim/internal/exec"
+	"aim/internal/obs"
+)
+
+// Record is one observed statement: which session executed it, its
+// per-session sequence number, the raw SQL, and the execution statistics
+// the engine reported. Sessions observe concurrently, so arrival order in
+// the buffer is nondeterministic; sealing sorts by (session, seq) to give
+// every window one canonical order regardless of goroutine interleaving —
+// that is what makes a live window replayable bit-for-bit offline.
+type Record struct {
+	Session string
+	Seq     uint64
+	SQL     string
+	Stats   exec.Stats
+}
+
+// Collector buffers the live statement stream into sliding windows for the
+// in-process tuner. When Window > 0 it seals automatically every Window
+// statements; Flush seals on demand (the OpTune path and the drain path).
+// The buffer is bounded: when the tuner falls behind, the oldest
+// statements are dropped (counted, never silently) rather than growing
+// without bound under sustained overload.
+type Collector struct {
+	// Window is the auto-seal threshold in statements (0 = manual only).
+	Window int
+	// MaxBuffered bounds the unsealed buffer (0 = 4×Window, or 4096 when
+	// Window is 0).
+	MaxBuffered int
+
+	mu  sync.Mutex
+	buf []Record
+
+	statements *obs.Counter // server.window_statements
+	dropped    *obs.Counter // server.window_dropped
+	sealedN    *obs.Counter // server.windows_sealed
+}
+
+// NewCollector returns a collector sealing every window statements
+// (0 = manual), reporting into r (nil = metrics off).
+func NewCollector(window int, r *obs.Registry) *Collector {
+	c := &Collector{Window: window}
+	if r != nil {
+		c.statements = r.Counter("server.window_statements")
+		c.dropped = r.Counter("server.window_dropped")
+		c.sealedN = r.Counter("server.windows_sealed")
+	}
+	return c
+}
+
+func (c *Collector) maxBuffered() int {
+	if c.MaxBuffered > 0 {
+		return c.MaxBuffered
+	}
+	if c.Window > 0 {
+		return 4 * c.Window
+	}
+	return 4096
+}
+
+// Observe appends one executed statement and returns a sealed window when
+// the auto-seal threshold was reached (nil otherwise). Safe for concurrent
+// use by sessions.
+func (c *Collector) Observe(rec Record) []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.statements != nil {
+		c.statements.Inc()
+	}
+	c.buf = append(c.buf, rec)
+	if max := c.maxBuffered(); len(c.buf) > max {
+		over := len(c.buf) - max
+		c.buf = append(c.buf[:0], c.buf[over:]...)
+		if c.dropped != nil {
+			c.dropped.Add(int64(over))
+		}
+	}
+	if c.Window > 0 && len(c.buf) >= c.Window {
+		return c.sealLocked()
+	}
+	return nil
+}
+
+// Flush seals and returns everything buffered since the last seal (nil when
+// empty).
+func (c *Collector) Flush() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.buf) == 0 {
+		return nil
+	}
+	return c.sealLocked()
+}
+
+// Buffered reports the number of unsealed statements.
+func (c *Collector) Buffered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.buf)
+}
+
+func (c *Collector) sealLocked() []Record {
+	w := c.buf
+	c.buf = nil
+	if c.sealedN != nil {
+		c.sealedN.Inc()
+	}
+	SortWindow(w)
+	return w
+}
+
+// SortWindow orders a sealed window canonically: by session label, then by
+// the session's own statement sequence. Within one session, seq order is
+// the order the client issued statements; across sessions, the label order
+// stands in for arrival order so the window is interleaving-independent.
+func SortWindow(w []Record) {
+	sort.Slice(w, func(i, j int) bool {
+		if w[i].Session != w[j].Session {
+			return w[i].Session < w[j].Session
+		}
+		return w[i].Seq < w[j].Seq
+	})
+}

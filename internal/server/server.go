@@ -1,0 +1,434 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aim/internal/core"
+	"aim/internal/engine"
+	"aim/internal/failpoint"
+	"aim/internal/obs"
+	"aim/internal/pool"
+	"aim/internal/regression"
+	"aim/internal/shadow"
+	"aim/internal/sqlparser"
+)
+
+// Options configures a Server. DB is the one required field; everything
+// else has serving defaults.
+type Options struct {
+	// DB is the serving database (schema and data already loaded).
+	DB *engine.DB
+	// AdvisorCfg configures the in-process advisor. The zero value selects
+	// core.DefaultConfig with MinExecutions=1 — live windows are short, and
+	// a statement seen once in a window is real traffic, not noise.
+	AdvisorCfg *core.Config
+	// Gate is the shadow no-regression gate (nil = shadow.DefaultGate).
+	Gate *shadow.Gate
+	// Detector watches post-adoption windows (nil = NewDetector(0.5)).
+	Detector *regression.Detector
+	// WindowStatements seals a tuning window every N observed statements
+	// (0 = manual tuning via OpTune only).
+	WindowStatements int
+	// MaxConns bounds concurrent sessions; further accepts wait. <= 0
+	// resolves through pool.Workers (the same sizing rule as the advisor's
+	// fan-out) times a fan-in factor of 8, so a small machine still serves a
+	// realistic fleet.
+	MaxConns int
+	// ReadTimeout/WriteTimeout are per-frame deadlines (0 = 2 minutes). A
+	// session that stalls mid-frame is cut, not leaked.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// DrainTimeout bounds Shutdown's wait for sessions to finish their
+	// in-flight statement (0 = 5 seconds).
+	DrainTimeout time.Duration
+	// Obs receives the server metrics (server.connections_open,
+	// server.frames, server.window_statements, server.windows_sealed,
+	// server.tune_cycles, server.drain_seconds). Nil = metrics off.
+	Obs *obs.Registry
+	// OnReport forwards every shadow verdict (telemetry SetShadowReport).
+	OnReport func(*shadow.Report)
+}
+
+// Server is the aimd daemon core: a TCP listener, per-connection sessions,
+// a statement gate serializing writers, and the live-stream tuner.
+type Server struct {
+	opts Options
+	db   *engine.DB
+
+	// exec is the statement gate: SELECTs hold the read side, DML/DDL and
+	// tuning-loop applies the write side, and COW snapshot creation inside
+	// shadow validation serializes through the write side via the engine's
+	// clone gate.
+	exec sync.RWMutex
+
+	collector *Collector
+	tuner     *Tuner
+
+	ln       net.Listener
+	draining atomic.Bool
+	closed   chan struct{} // accept loop exited
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	sessions sync.WaitGroup
+	sem      chan struct{} // bounds concurrent sessions
+	seq      atomic.Int64  // accept-order session labels
+
+	windows chan []Record // auto-sealed windows to the tuner goroutine
+	tunerWG sync.WaitGroup
+
+	connsOpen *obs.Gauge
+	frames    *obs.Counter
+	acceptErr *obs.Counter
+	readErr   *obs.Counter
+	drainHist *obs.Histogram
+}
+
+// writeLocker adapts the server's statement gate to the engine's clone
+// gate: snapshot creation excludes writers, briefly.
+type writeLocker struct{ mu *sync.RWMutex }
+
+func (l writeLocker) Lock()   { l.mu.Lock() }
+func (l writeLocker) Unlock() { l.mu.Unlock() }
+
+// New assembles an unstarted server around a loaded database.
+func New(opts Options) *Server {
+	if opts.DB == nil {
+		panic("server: Options.DB is required")
+	}
+	cfg := core.DefaultConfig()
+	cfg.Selection.MinExecutions = 1
+	if opts.AdvisorCfg != nil {
+		cfg = *opts.AdvisorCfg
+	}
+	gate := shadow.DefaultGate()
+	if opts.Gate != nil {
+		gate = *opts.Gate
+	}
+	det := opts.Detector
+	if det == nil {
+		det = regression.NewDetector(0.5)
+	}
+	maxConns := opts.MaxConns
+	if maxConns <= 0 {
+		maxConns = pool.Workers(0) * 8
+	}
+	s := &Server{
+		opts:      opts,
+		db:        opts.DB,
+		collector: NewCollector(opts.WindowStatements, opts.Obs),
+		conns:     map[net.Conn]struct{}{},
+		sem:       make(chan struct{}, maxConns),
+		closed:    make(chan struct{}),
+		windows:   make(chan []Record, 1),
+	}
+	s.tuner = &Tuner{
+		DB:       opts.DB,
+		Adv:      core.NewAdvisor(opts.DB, cfg),
+		Detector: det,
+		Gate:     gate,
+		Exec:     &s.exec,
+		OnReport: opts.OnReport,
+	}
+	opts.DB.SetCloneGate(writeLocker{&s.exec})
+	if r := opts.Obs; r != nil {
+		s.connsOpen = r.Gauge("server.connections_open")
+		s.frames = r.Counter("server.frames")
+		s.acceptErr = r.Counter("server.accept_errors")
+		s.readErr = r.Counter("server.read_errors")
+		s.drainHist = r.Histogram("server.drain_seconds")
+		s.tuner.Instrument(r)
+	}
+	return s
+}
+
+// Tuner exposes the live tuner (counters and verdicts) for telemetry and
+// the serve suite.
+func (s *Server) Tuner() *Tuner { return s.tuner }
+
+// Collector exposes the window collector.
+func (s *Server) Collector() *Collector { return s.collector }
+
+// DB returns the serving database handle.
+func (s *Server) DB() *engine.DB { return s.db }
+
+// Start listens on addr (use "127.0.0.1:0" for an ephemeral port), spawns
+// the accept loop and the tuner goroutine, and returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: %v", err)
+	}
+	s.ln = ln
+	s.tunerWG.Add(1)
+	go s.runTuner()
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) acceptLoop() {
+	defer close(s.closed)
+	for {
+		// The "server.accept" failpoint models a transient accept failure
+		// (fd exhaustion, a dying load balancer probe): the connection in
+		// flight is refused, the loop keeps serving.
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (Shutdown) or fatal
+		}
+		if s.draining.Load() {
+			conn.Close()
+			continue
+		}
+		if ferr := failpoint.Inject("server.accept"); ferr != nil {
+			if s.acceptErr != nil {
+				s.acceptErr.Inc()
+			}
+			conn.Close()
+			continue
+		}
+		s.sem <- struct{}{} // bounded worker model: blocks when MaxConns busy
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.sessions.Add(1)
+		if s.connsOpen != nil {
+			s.connsOpen.Add(1)
+		}
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) runTuner() {
+	defer s.tunerWG.Done()
+	for w := range s.windows {
+		// A cycle error is an invariant violation (degraded-accepted); the
+		// daemon must not adopt past it, so tuning stops while serving
+		// continues. The suite asserts this never fires.
+		if _, err := s.tuner.CycleWindow(w); err != nil {
+			s.tuner.mu.Lock()
+			s.tuner.verdicts = append(s.tuner.verdicts, "FATAL "+err.Error())
+			s.tuner.mu.Unlock()
+			return
+		}
+	}
+}
+
+// serve runs one session: read frame, execute, respond, until the peer
+// closes, a deadline cuts a stalled frame, or drain begins.
+func (s *Server) serve(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		<-s.sem
+		if s.connsOpen != nil {
+			s.connsOpen.Add(-1)
+		}
+		s.sessions.Done()
+	}()
+	session := fmt.Sprintf("conn-%04d", s.seq.Add(1))
+	var stmtSeq uint64
+	readTO := s.opts.ReadTimeout
+	if readTO <= 0 {
+		readTO = 2 * time.Minute
+	}
+	writeTO := s.opts.WriteTimeout
+	if writeTO <= 0 {
+		writeTO = 2 * time.Minute
+	}
+	for {
+		if s.draining.Load() {
+			return
+		}
+		conn.SetReadDeadline(time.Now().Add(readTO)) //nolint:errcheck
+		if err := failpoint.Inject("server.read_frame"); err != nil {
+			// An injected read failure models a torn connection: the session
+			// ends exactly as it would on a real socket error.
+			if s.readErr != nil {
+				s.readErr.Inc()
+			}
+			return
+		}
+		payload, err := ReadFrame(conn, MaxFrame)
+		if err != nil {
+			// Oversized and zero-length frames get a best-effort typed error
+			// before the cut; EOF and deadlines close silently.
+			if err == ErrFrameTooLarge || err == ErrZeroFrame {
+				s.respond(conn, writeTO, &Response{Tag: TagError, Code: CodeBadFrame, Msg: err.Error()})
+			}
+			if s.readErr != nil && err != nil {
+				s.readErr.Inc()
+			}
+			return
+		}
+		if s.frames != nil {
+			s.frames.Inc()
+		}
+		req, err := DecodeRequest(payload)
+		if err != nil {
+			s.respond(conn, writeTO, &Response{Tag: TagError, Code: CodeBadFrame, Msg: err.Error()})
+			return
+		}
+		var resp *Response
+		switch req.Op {
+		case OpHello:
+			if req.SQL != "" {
+				session = req.SQL
+			}
+			resp = &Response{Tag: TagOK}
+		case OpPing:
+			resp = &Response{Tag: TagPong}
+		case OpTune:
+			line, err := s.TuneNow()
+			if err != nil {
+				resp = &Response{Tag: TagError, Code: CodeTune, Msg: err.Error()}
+			} else {
+				resp = &Response{Tag: TagVerdict, Verdict: line}
+			}
+		case OpQuery:
+			if s.draining.Load() {
+				resp = &Response{Tag: TagError, Code: CodeDraining, Msg: "server draining"}
+			} else {
+				stmtSeq++
+				resp = s.execStatement(session, stmtSeq, req.SQL)
+			}
+		}
+		if !s.respond(conn, writeTO, resp) {
+			return
+		}
+	}
+}
+
+func (s *Server) respond(conn net.Conn, writeTO time.Duration, resp *Response) bool {
+	payload := EncodeResponse(resp)
+	if len(payload) > MaxFrame {
+		payload = EncodeResponse(&Response{Tag: TagError, Code: CodeExec, Msg: "result exceeds max frame"})
+	}
+	conn.SetWriteDeadline(time.Now().Add(writeTO)) //nolint:errcheck
+	return WriteFrame(conn, payload) == nil
+}
+
+// execStatement parses, classifies and executes one statement under the
+// statement gate (SELECTs share the read side; DML and DDL serialize on the
+// write side), then feeds the collector. Failed statements produce a typed
+// error and are not observed — the monitor sees only executions that
+// contributed load, matching the batch loop's semantics.
+func (s *Server) execStatement(session string, seq uint64, sql string) *Response {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return &Response{Tag: TagError, Code: CodeParse, Msg: err.Error()}
+	}
+	_, isSelect := stmt.(*sqlparser.Select)
+	if isSelect {
+		s.exec.RLock()
+	} else {
+		s.exec.Lock()
+	}
+	res, err := s.db.ExecStmt(stmt)
+	if isSelect {
+		s.exec.RUnlock()
+	} else {
+		s.exec.Unlock()
+	}
+	if err != nil {
+		return &Response{Tag: TagError, Code: CodeExec, Msg: err.Error()}
+	}
+	if w := s.collector.Observe(Record{Session: session, Seq: seq, SQL: sql, Stats: res.Stats}); w != nil {
+		select {
+		case s.windows <- w:
+		default:
+			// The tuner is mid-cycle and the queue is full: re-buffer is
+			// pointless (the statements were consumed), drop the window and
+			// let the next one carry fresher traffic.
+		}
+	}
+	if isSelect {
+		return &Response{Tag: TagRows, Columns: res.Columns, Rows: res.Rows}
+	}
+	return &Response{Tag: TagOK, Affected: res.Stats.RowsSent}
+}
+
+// TuneNow seals the collector's current window and runs one tuning cycle
+// synchronously, returning the rendered verdict line. Serialized against
+// the background tuner by the tuner's own cycle lock.
+func (s *Server) TuneNow() (string, error) {
+	w := s.collector.Flush()
+	return s.tuner.CycleWindow(w)
+}
+
+// Shutdown drains the server: stop accepting, let every session finish its
+// in-flight statement and response, then close. Sessions blocked waiting
+// for a client frame are woken by an immediate read deadline and exit on
+// the drain flag. Returns an error when the drain deadline forced
+// connections closed; a nil return is a clean drain. The observed drain
+// wall-clock lands in server.drain_seconds.
+func (s *Server) Shutdown() error {
+	start := time.Now()
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.ln.Close()
+	<-s.closed
+	// Wake sessions parked in ReadFrame: the expired deadline errors the
+	// read, and the drain flag stops the loop before the next one.
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now()) //nolint:errcheck
+	}
+	s.mu.Unlock()
+
+	timeout := s.opts.DrainTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		s.sessions.Wait()
+		close(done)
+	}()
+	var forced error
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.mu.Lock()
+		n := len(s.conns)
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		forced = fmt.Errorf("server: drain timeout forced %d connections closed", n)
+	}
+	// Final partial window: observed traffic the auto-seal had not reached
+	// yet still gets one last cycle, so a drained daemon leaves no
+	// unconsidered statements behind. Manual-window servers (OpTune-driven)
+	// skip this — their operator owns cycle boundaries.
+	close(s.windows)
+	s.tunerWG.Wait()
+	if s.opts.WindowStatements > 0 {
+		if w := s.collector.Flush(); w != nil {
+			if _, err := s.tuner.CycleWindow(w); err != nil && forced == nil {
+				forced = err
+			}
+		}
+	}
+	if s.drainHist != nil {
+		s.drainHist.Observe(time.Since(start).Seconds())
+	}
+	s.db.SetCloneGate(nil)
+	return forced
+}

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"aim/internal/catalog"
+	"aim/internal/core"
+	"aim/internal/engine"
+	"aim/internal/obs"
+	"aim/internal/regression"
+	"aim/internal/shadow"
+	"aim/internal/workload"
+)
+
+// Tuner runs the continuous-tuning cycle against the serving database, fed
+// by sealed collector windows instead of a replayed workload file. The
+// per-cycle ordering is the same safety contract the fault and scenario
+// suites assert on the batch loop (experiments.Loop): recommend, filter
+// cooldowns, gate every creation through shadow validation or change
+// nothing, apply, then let the regression detector revert. An
+// accepted-but-degraded verdict is the one fatal error — it would be an
+// ungated adoption.
+//
+// Locking: the tuner shares the server's statement gate. Recommending and
+// observing hold the read side (stats collection must not race live DML);
+// applying and reverting hold the write side; snapshot creation inside
+// shadow validation serializes through the engine's clone gate (see
+// engine.DB.SetCloneGate), so replays run against frozen snapshots while
+// live client traffic proceeds.
+type Tuner struct {
+	DB       *engine.DB
+	Adv      *core.Advisor
+	Detector *regression.Detector
+	Gate     shadow.Gate
+	// Exec is the server's statement gate; nil means the caller already
+	// serializes (offline replay).
+	Exec *sync.RWMutex
+	// OnReport, when set, receives every shadow verdict (telemetry hook).
+	OnReport func(*shadow.Report)
+
+	mu sync.Mutex // serializes cycles (background seals vs OpTune)
+
+	Cycles              int
+	Adoptions           int
+	ApplyFailures       int
+	DegradedValidations int
+	Reverted            int
+	verdicts            []string
+
+	tuneCycles *obs.Counter // server.tune_cycles
+}
+
+// Instrument attaches the tuner's counters to r.
+func (t *Tuner) Instrument(r *obs.Registry) {
+	if r != nil {
+		t.tuneCycles = r.Counter("server.tune_cycles")
+	}
+}
+
+// CycleWindow builds the window's monitor from a sealed (sorted) record
+// slice and runs one tuning cycle. Statements are fed to the monitor in the
+// canonical window order, so the resulting recommendation is byte-identical
+// to an offline replay of the same stream.
+func (t *Tuner) CycleWindow(w []Record) (string, error) {
+	mon := workload.NewMonitor()
+	for _, rec := range w {
+		// A statement that executed successfully always re-parses; a failure
+		// here means the collector was fed garbage.
+		if err := mon.Record(rec.SQL, rec.Stats); err != nil {
+			return "", fmt.Errorf("server: window record: %v", err)
+		}
+	}
+	return t.Cycle(mon)
+}
+
+// Cycle runs one tuning cycle over an observed window and returns a short
+// rendered verdict line. The error path is reserved for invariant
+// violations (an ungated adoption); operational failures degrade to "no
+// change this cycle" exactly like the batch loop.
+func (t *Tuner) Cycle(mon *workload.Monitor) (string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cycle := t.Cycles
+	t.Cycles++
+	if t.tuneCycles != nil {
+		t.tuneCycles.Inc()
+	}
+
+	t.rlock()
+	rec, err := t.Adv.Recommend(mon)
+	t.runlock()
+	if err != nil {
+		return "", fmt.Errorf("server: recommend: %v", err)
+	}
+
+	create := rec.Create
+	if t.Detector != nil {
+		kept := make([]*catalog.Index, 0, len(create))
+		for _, ix := range create {
+			if t.Detector.InCooldown(ix.Key()) {
+				continue
+			}
+			kept = append(kept, ix)
+		}
+		create = kept
+	}
+
+	verdict := "no_candidates"
+	if len(create) > 0 {
+		// Validation clones through the engine's clone gate (write-side of
+		// the statement gate when serving), then replays on frozen COW
+		// snapshots with no server lock held: live traffic continues.
+		report, err := shadow.Validate(t.DB, create, mon, t.Gate)
+		if err != nil {
+			return "", fmt.Errorf("server: validate: %v", err)
+		}
+		if t.OnReport != nil {
+			t.OnReport(report)
+		}
+		if report.Accepted && report.Degraded {
+			return "", fmt.Errorf("server: degraded verdict accepted: %s", report.Reason)
+		}
+		if report.Degraded {
+			t.DegradedValidations++
+		}
+		verdict = fmt.Sprintf("%s[%s]", report.Verdict(), report.Code)
+		if report.Accepted {
+			t.lock()
+			_, err := t.Adv.Apply(&core.Recommendation{Create: create})
+			t.unlock()
+			if err != nil {
+				t.ApplyFailures++
+				verdict += " apply_failed"
+			} else {
+				t.Adoptions++
+				verdict += " adopted=" + strings.Join(indexKeys(create), ",")
+			}
+		}
+	}
+
+	reverted := 0
+	if t.Detector != nil {
+		t.rlock()
+		regs := t.Detector.Observe(t.DB, mon)
+		t.runlock()
+		if len(regs) > 0 {
+			t.lock()
+			keys := t.Detector.Revert(t.DB, regs)
+			t.unlock()
+			reverted = len(keys)
+			t.Reverted += reverted
+			if reverted > 0 {
+				verdict += " reverted=" + strings.Join(keys, ",")
+			}
+		}
+	}
+
+	line := fmt.Sprintf("cycle %d: stmts=%d queries=%d %s", cycle, statementCount(mon), mon.Len(), verdict)
+	t.verdicts = append(t.verdicts, line)
+	return line, nil
+}
+
+// Verdicts returns the rendered per-cycle verdict lines so far.
+func (t *Tuner) Verdicts() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.verdicts...)
+}
+
+func (t *Tuner) rlock() {
+	if t.Exec != nil {
+		t.Exec.RLock()
+	}
+}
+func (t *Tuner) runlock() {
+	if t.Exec != nil {
+		t.Exec.RUnlock()
+	}
+}
+func (t *Tuner) lock() {
+	if t.Exec != nil {
+		t.Exec.Lock()
+	}
+}
+func (t *Tuner) unlock() {
+	if t.Exec != nil {
+		t.Exec.Unlock()
+	}
+}
+
+func statementCount(mon *workload.Monitor) int64 {
+	var n int64
+	for _, q := range mon.Queries() {
+		n += q.Executions
+	}
+	return n
+}
+
+func indexKeys(ixs []*catalog.Index) []string {
+	out := make([]string, len(ixs))
+	for i, ix := range ixs {
+		out[i] = ix.Key()
+	}
+	return out
+}

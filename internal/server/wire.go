@@ -1,0 +1,394 @@
+// Package server is the network face of AIM: a long-running TCP daemon
+// (`aimd`) speaking a simple length-prefixed wire protocol — one SQL
+// statement per frame, responses carrying rows, an affected-count, or a
+// typed error — with per-connection sessions, a bounded accept/worker
+// model, per-frame read/write deadlines, and graceful drain.
+//
+// The continuous-tuning advisor runs in-process against the *live*
+// statement stream: every successfully executed statement is observed by a
+// window collector, and each sealed window drives one advisor →
+// shadow-gate → regression-detector cycle against the serving database —
+// the deployment shape of the paper (§VI), where AIM tunes production
+// traffic rather than a pre-recorded workload file.
+//
+// This file is the wire layer. A frame is a 4-byte big-endian payload
+// length followed by the payload; zero-length and oversized frames are
+// protocol errors. Request payloads start with a one-byte opcode; response
+// payloads with a one-byte tag. All multi-byte integers are big-endian.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"aim/internal/sqltypes"
+)
+
+// MaxFrame is the largest payload either side accepts. Large enough for any
+// realistic statement or result page, small enough that a corrupt length
+// prefix cannot make the reader allocate gigabytes.
+const MaxFrame = 1 << 20
+
+// Request opcodes.
+const (
+	// OpHello declares the session label (body: label bytes). Clients that
+	// need deterministic statement attribution (the loadgen fleet) send it
+	// first; sessions without a hello get an accept-order label.
+	OpHello = byte('H')
+	// OpQuery executes one SQL statement (body: SQL text).
+	OpQuery = byte('Q')
+	// OpTune seals the collector's current window and runs one tuning cycle
+	// synchronously (empty body). The response carries the cycle verdict.
+	OpTune = byte('T')
+	// OpPing is a liveness round-trip (empty body).
+	OpPing = byte('P')
+)
+
+// Response tags.
+const (
+	// TagRows carries a SELECT result: columns and fully typed rows.
+	TagRows = byte('R')
+	// TagOK carries the affected-row count of a DML/DDL statement.
+	TagOK = byte('K')
+	// TagError carries a typed error (code + message).
+	TagError = byte('E')
+	// TagVerdict carries the rendered outcome of an OpTune cycle.
+	TagVerdict = byte('V')
+	// TagPong answers OpPing.
+	TagPong = byte('O')
+)
+
+// Wire error codes carried by TagError responses.
+const (
+	CodeParse    uint16 = 1 // statement failed to parse
+	CodeExec     uint16 = 2 // statement failed during execution
+	CodeBadFrame uint16 = 3 // malformed or oversized request frame
+	CodeDraining uint16 = 4 // server is draining; no new statements
+	CodeTune     uint16 = 5 // tuning cycle failed
+)
+
+// Framing errors. ReadFrame wraps io errors from short reads as
+// ErrTruncatedFrame so callers can distinguish a half-written frame from a
+// clean EOF between frames.
+var (
+	ErrFrameTooLarge  = errors.New("server: frame exceeds MaxFrame")
+	ErrZeroFrame      = errors.New("server: zero-length frame")
+	ErrTruncatedFrame = errors.New("server: truncated frame")
+)
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) == 0 {
+		return ErrZeroFrame
+	}
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, rejecting zero-length frames
+// and frames larger than max (max <= 0 means MaxFrame). A clean EOF before
+// the first header byte returns io.EOF; EOF mid-frame returns
+// ErrTruncatedFrame.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	if max <= 0 {
+		max = MaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return nil, err // io.EOF between frames is a clean close
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return nil, truncated(err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, ErrZeroFrame
+	}
+	if n > uint32(max) {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, truncated(err)
+	}
+	return payload, nil
+}
+
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ErrTruncatedFrame
+	}
+	return err
+}
+
+// Request is one decoded client frame.
+type Request struct {
+	Op byte
+	// SQL is the statement text (OpQuery) or the session label (OpHello).
+	SQL string
+}
+
+// EncodeRequest renders a request payload (opcode + body).
+func EncodeRequest(req Request) []byte {
+	out := make([]byte, 0, 1+len(req.SQL))
+	out = append(out, req.Op)
+	return append(out, req.SQL...)
+}
+
+// DecodeRequest parses a request payload.
+func DecodeRequest(p []byte) (Request, error) {
+	if len(p) == 0 {
+		return Request{}, ErrZeroFrame
+	}
+	req := Request{Op: p[0], SQL: string(p[1:])}
+	switch req.Op {
+	case OpHello, OpQuery, OpTune, OpPing:
+		return req, nil
+	default:
+		return Request{}, fmt.Errorf("server: unknown opcode 0x%02x", req.Op)
+	}
+}
+
+// Response is one decoded server frame.
+type Response struct {
+	Tag     byte
+	Columns []string       // TagRows
+	Rows    []sqltypes.Row // TagRows
+	// Affected is the row count a DML statement touched (TagOK).
+	Affected int64
+	// Code and Msg describe a TagError; Verdict carries TagVerdict text.
+	Code    uint16
+	Msg     string
+	Verdict string
+}
+
+// Err converts a TagError response into a Go error (nil for other tags).
+func (r *Response) Err() error {
+	if r.Tag != TagError {
+		return nil
+	}
+	return fmt.Errorf("server: remote error %d: %s", r.Code, r.Msg)
+}
+
+// EncodeResponse renders a response payload (tag + body).
+func EncodeResponse(resp *Response) []byte {
+	switch resp.Tag {
+	case TagRows:
+		// u16 ncols | cols | u32 nrows | rows, values fully typed so the
+		// client round-trips exactly what the engine produced.
+		out := []byte{TagRows}
+		out = binary.BigEndian.AppendUint16(out, uint16(len(resp.Columns)))
+		for _, c := range resp.Columns {
+			out = appendString(out, c)
+		}
+		out = binary.BigEndian.AppendUint32(out, uint32(len(resp.Rows)))
+		for _, row := range resp.Rows {
+			out = binary.BigEndian.AppendUint16(out, uint16(len(row)))
+			for _, v := range row {
+				out = appendValue(out, v)
+			}
+		}
+		return out
+	case TagOK:
+		out := []byte{TagOK}
+		return binary.BigEndian.AppendUint64(out, uint64(resp.Affected))
+	case TagError:
+		out := []byte{TagError}
+		out = binary.BigEndian.AppendUint16(out, resp.Code)
+		return append(out, resp.Msg...)
+	case TagVerdict:
+		return append([]byte{TagVerdict}, resp.Verdict...)
+	case TagPong:
+		return []byte{TagPong}
+	default:
+		return append([]byte{TagError}, fmt.Sprintf("\x00\x00bad tag %d", resp.Tag)...)
+	}
+}
+
+// DecodeResponse parses a response payload. Every length and count is
+// validated against the remaining payload, so a corrupt or adversarial
+// frame yields an error, never a panic or an oversized allocation.
+func DecodeResponse(p []byte) (*Response, error) {
+	if len(p) == 0 {
+		return nil, ErrZeroFrame
+	}
+	resp := &Response{Tag: p[0]}
+	body := p[1:]
+	switch resp.Tag {
+	case TagRows:
+		ncols, rest, err := takeUint16(body)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]string, 0, ncols)
+		for i := 0; i < int(ncols); i++ {
+			var s string
+			if s, rest, err = takeString(rest); err != nil {
+				return nil, err
+			}
+			cols = append(cols, s)
+		}
+		resp.Columns = cols
+		nrowsU, rest, err := takeUint32(rest)
+		if err != nil {
+			return nil, err
+		}
+		nrows := int(nrowsU)
+		// Each row costs at least the 2-byte width prefix; anything claiming
+		// more rows than the payload could hold is corrupt.
+		if nrows > len(rest)/2 {
+			return nil, fmt.Errorf("server: row count %d exceeds payload", nrows)
+		}
+		rows := make([]sqltypes.Row, 0, nrows)
+		for i := 0; i < nrows; i++ {
+			var width uint16
+			if width, rest, err = takeUint16(rest); err != nil {
+				return nil, err
+			}
+			if int(width) > len(rest) {
+				return nil, fmt.Errorf("server: row width %d exceeds payload", width)
+			}
+			row := make(sqltypes.Row, 0, width)
+			for j := 0; j < int(width); j++ {
+				var v sqltypes.Value
+				if v, rest, err = takeValue(rest); err != nil {
+					return nil, err
+				}
+				row = append(row, v)
+			}
+			rows = append(rows, row)
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("server: %d trailing bytes after rows", len(rest))
+		}
+		resp.Rows = rows
+		return resp, nil
+	case TagOK:
+		if len(body) != 8 {
+			return nil, fmt.Errorf("server: OK body must be 8 bytes, got %d", len(body))
+		}
+		resp.Affected = int64(binary.BigEndian.Uint64(body))
+		return resp, nil
+	case TagError:
+		code, rest, err := takeUint16(body)
+		if err != nil {
+			return nil, err
+		}
+		resp.Code = code
+		resp.Msg = string(rest)
+		return resp, nil
+	case TagVerdict:
+		resp.Verdict = string(body)
+		return resp, nil
+	case TagPong:
+		if len(body) != 0 {
+			return nil, fmt.Errorf("server: pong carries no body")
+		}
+		return resp, nil
+	default:
+		return nil, fmt.Errorf("server: unknown response tag 0x%02x", resp.Tag)
+	}
+}
+
+// Value encoding: one kind byte, then a kind-specific payload. NULL has no
+// payload; bools are one byte; ints and float bit patterns are 8 bytes;
+// strings and bytes are u32-length-prefixed.
+func appendValue(dst []byte, v sqltypes.Value) []byte {
+	dst = append(dst, byte(v.Kind()))
+	switch v.Kind() {
+	case sqltypes.KindNull:
+		return dst
+	case sqltypes.KindInt:
+		return binary.BigEndian.AppendUint64(dst, uint64(v.Int()))
+	case sqltypes.KindFloat:
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(v.Float()))
+	case sqltypes.KindBool:
+		if v.Bool() {
+			return append(dst, 1)
+		}
+		return append(dst, 0)
+	default: // KindString, KindBytes
+		return appendString(dst, v.Str())
+	}
+}
+
+func takeValue(p []byte) (sqltypes.Value, []byte, error) {
+	if len(p) == 0 {
+		return sqltypes.Null, nil, ErrTruncatedFrame
+	}
+	kind, rest := sqltypes.Kind(p[0]), p[1:]
+	switch kind {
+	case sqltypes.KindNull:
+		return sqltypes.Null, rest, nil
+	case sqltypes.KindInt:
+		if len(rest) < 8 {
+			return sqltypes.Null, nil, ErrTruncatedFrame
+		}
+		return sqltypes.NewInt(int64(binary.BigEndian.Uint64(rest))), rest[8:], nil
+	case sqltypes.KindFloat:
+		if len(rest) < 8 {
+			return sqltypes.Null, nil, ErrTruncatedFrame
+		}
+		return sqltypes.NewFloat(math.Float64frombits(binary.BigEndian.Uint64(rest))), rest[8:], nil
+	case sqltypes.KindBool:
+		if len(rest) < 1 {
+			return sqltypes.Null, nil, ErrTruncatedFrame
+		}
+		return sqltypes.NewBool(rest[0] != 0), rest[1:], nil
+	case sqltypes.KindString:
+		s, rest, err := takeString(rest)
+		if err != nil {
+			return sqltypes.Null, nil, err
+		}
+		return sqltypes.NewString(s), rest, nil
+	case sqltypes.KindBytes:
+		s, rest, err := takeString(rest)
+		if err != nil {
+			return sqltypes.Null, nil, err
+		}
+		return sqltypes.NewBytes([]byte(s)), rest, nil
+	default:
+		return sqltypes.Null, nil, fmt.Errorf("server: unknown value kind %d", kind)
+	}
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+func takeString(p []byte) (string, []byte, error) {
+	n, rest, err := takeUint32(p)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(n) > uint64(len(rest)) {
+		return "", nil, fmt.Errorf("server: string length %d exceeds payload", n)
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+func takeUint16(p []byte) (uint16, []byte, error) {
+	if len(p) < 2 {
+		return 0, nil, ErrTruncatedFrame
+	}
+	return binary.BigEndian.Uint16(p), p[2:], nil
+}
+
+func takeUint32(p []byte) (uint32, []byte, error) {
+	if len(p) < 4 {
+		return 0, nil, ErrTruncatedFrame
+	}
+	return binary.BigEndian.Uint32(p), p[4:], nil
+}
