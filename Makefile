@@ -41,6 +41,7 @@ benchsmoke:
 # out of plain `go test ./...`.
 metricssmoke:
 	AIM_METRICS_SMOKE=1 $(GO) test -run 'TestMetricsOverheadSmoke|TestFailpointOverheadSmoke|TestAuditOverheadSmoke' ./internal/core/
+	AIM_METRICS_SMOKE=1 $(GO) test -run TestRecorderOverheadSmoke ./internal/server/
 
 # Telemetry server smoke: boots a real loopback server and validates
 # /metricsz (exposition format), /statusz (JSON sections), /healthz and
@@ -86,10 +87,11 @@ servesuite:
 	AIM_SERVE_SUITE=1 $(GO) test -race -run TestServeSuite -v ./internal/experiments/
 
 # Nightly soak variant: a longer fleet run (40 tuned rounds) that leaves the
-# normalized decision journal behind as aimd-soak.jsonl for the artifact
-# upload.
+# normalized decision journal behind as aimd-soak.jsonl and the flight
+# recorder's per-round time-series ring as aimd-soak-timeseries.json for the
+# artifact upload.
 servesoak:
-	AIM_SERVE_SOAK=1 AIM_SERVE_JOURNAL=$(CURDIR)/aimd-soak.jsonl $(GO) test -race -run TestServeSuite -v ./internal/experiments/
+	AIM_SERVE_SOAK=1 AIM_SERVE_JOURNAL=$(CURDIR)/aimd-soak.jsonl AIM_SERVE_TIMESERIES=$(CURDIR)/aimd-soak-timeseries.json $(GO) test -race -run TestServeSuite -v ./internal/experiments/
 
 # Coverage gate: full-repo statement coverage must not drop below
 # COVER_BASELINE. Writes coverage.out + coverage.html at the repo root.

@@ -22,8 +22,13 @@
 //	    reconstruct why an index was created (or a candidate rejected) from
 //	    the decision journal; -trace annotates each step with its span name.
 //
-//	aimctl remote -addr 127.0.0.1:4440 "SELECT ..." | -tune | -ping
-//	    talk to a running aimd over the wire protocol (see cmd/aimd).
+//	aimctl remote -addr 127.0.0.1:4440 "SELECT ..." | -tune | -ping | -slow
+//	    talk to a running aimd over the wire protocol (see cmd/aimd);
+//	    -trace stamps statements with a trace ID, -slow dumps the server's
+//	    slow-query log.
+//
+//	aimctl top -url http://127.0.0.1:8080
+//	    live terminal dashboard over aimd's /timeseriesz samples.
 package main
 
 import (
@@ -64,6 +69,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "remote" {
 		runRemote(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		runTop(os.Args[2:])
 		return
 	}
 	script := flag.String("script", "", "SQL script file (schema + data, then -- workload section)")

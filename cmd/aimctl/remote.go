@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -14,10 +15,14 @@ import (
 // runRemote is the `aimctl remote` subcommand: a thin wire-protocol client
 // for a running aimd. Statements come from the command line or, with none
 // given, from stdin one per line; -tune triggers one tuning cycle and
-// prints the verdict.
+// prints the verdict; -slow dumps the server's slow-query log as JSON lines;
+// -trace stamps each statement with a client-supplied trace ID (suffixed
+// with the statement ordinal when several are sent).
 //
 //	aimctl remote -addr 127.0.0.1:4440 "SELECT id FROM events WHERE user_id = 7"
+//	aimctl remote -addr 127.0.0.1:4440 -trace deploy-42 "SELECT ..."
 //	aimctl remote -addr 127.0.0.1:4440 -tune
+//	aimctl remote -addr 127.0.0.1:4440 -slow
 //	cat stmts.sql | aimctl remote -addr 127.0.0.1:4440
 func runRemote(args []string) {
 	fs := flag.NewFlagSet("aimctl remote", flag.ExitOnError)
@@ -25,6 +30,8 @@ func runRemote(args []string) {
 	label := fs.String("label", "aimctl", "session label (window attribution)")
 	tune := fs.Bool("tune", false, "trigger one tuning cycle and print the verdict")
 	ping := fs.Bool("ping", false, "liveness round-trip only")
+	slow := fs.Bool("slow", false, "dump the server's slow-query log (JSON lines, oldest first)")
+	traceID := fs.String("trace", "", "trace ID to stamp on statements (needs a v2 server; audit windows then name it)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-frame round-trip bound")
 	fs.Parse(args) //nolint:errcheck
 
@@ -43,9 +50,24 @@ func runRemote(args []string) {
 	if err := c.Hello(*label); err != nil {
 		fatal(err)
 	}
+	if *traceID != "" && c.Version() < 2 {
+		fmt.Fprintln(os.Stderr, "aimctl: peer speaks protocol v1; -trace will be dropped")
+	}
 
+	nth := 0
 	run := func(sql string) {
-		res, err := c.Query(sql)
+		var res *server.Result
+		var err error
+		if *traceID != "" {
+			id := *traceID
+			if nth > 0 {
+				id = fmt.Sprintf("%s-%d", id, nth)
+			}
+			nth++
+			res, err = c.QueryTraced(id, sql)
+		} else {
+			res, err = c.Query(sql)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -68,7 +90,7 @@ func runRemote(args []string) {
 		for _, sql := range stmts {
 			run(sql)
 		}
-	} else if !*tune {
+	} else if !*tune && !*slow {
 		sc := bufio.NewScanner(os.Stdin)
 		sc.Buffer(make([]byte, 0, 64*1024), server.MaxFrame)
 		for sc.Scan() {
@@ -89,5 +111,18 @@ func runRemote(args []string) {
 			fatal(err)
 		}
 		fmt.Println(line)
+	}
+	if *slow {
+		entries, err := c.Slow()
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		for i := range entries {
+			if err := enc.Encode(&entries[i]); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "(%d slow-log entries)\n", len(entries))
 	}
 }

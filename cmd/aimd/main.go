@@ -12,8 +12,9 @@
 //	aimd -demo                                # built-in fixture, :4440
 //	aimd -addr :4440 -init schema.sql         # load a SQL script, serve
 //	aimd -demo -window 200                    # tune every 200 statements
-//	aimd -demo -telemetry-addr :8080          # /metricsz /statusz /healthz /debug/pprof
+//	aimd -demo -telemetry-addr :8080          # /metricsz /statusz /slowz /timeseriesz ...
 //	aimd -demo -audit-out aimd.jsonl          # decision journal for `aimctl explain`
+//	aimd -demo -slow-threshold 50ms -trace-sample 100   # slow-query capture + 1-in-100 sample
 //	aimd -demo -failpoints "server.read_frame=err(0.01)"
 //
 // SIGTERM or SIGINT drains gracefully: accepting stops, in-flight
@@ -55,7 +56,12 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "per-frame read deadline")
 	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "per-frame write deadline")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful drain bound on SIGTERM")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve /metricsz /statusz /healthz /debug/pprof on this address")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metricsz /statusz /slowz /timeseriesz /healthz /debug/pprof on this address")
+	slowThreshold := flag.Duration("slow-threshold", 250*time.Millisecond, "slow-query log latency threshold (0 = no over-threshold capture)")
+	traceSample := flag.Int("trace-sample", 0, "also capture every Nth statement in the slow-query log (0 = off)")
+	slowCap := flag.Int("slow-log", 256, "slow-query log ring capacity (0 = disable the log entirely)")
+	tsInterval := flag.Duration("timeseries-interval", 5*time.Second, "registry sampling period for /timeseriesz (0 = off)")
+	tsCap := flag.Int("timeseries-window", 360, "samples kept in the /timeseriesz ring")
 	auditOut := flag.String("audit-out", "", "write the decision journal (JSON lines) to this file")
 	failpoints := flag.String("failpoints", "", `fault spec, e.g. "server.read_frame=err(0.01)" (or env `+failpoint.EnvVar+")")
 	fpSeed := flag.Int64("failpoint-seed", 1, "seed for failpoint firing schedules")
@@ -107,17 +113,34 @@ func main() {
 	cfg.Parallelism = *workers
 	det := regression.NewDetector(0.5)
 
+	// The query flight recorder: a slow-query ring fed by the statement path
+	// (over-threshold capture plus deterministic 1-in-N sampling) and a
+	// periodic registry sampler behind /timeseriesz. Both are nil when off —
+	// the statement path then pays a single nil check.
+	var slow *obs.SlowLog
+	if *slowCap > 0 && (*slowThreshold > 0 || *traceSample > 0) {
+		slow = obs.NewSlowLog(*slowCap, *slowThreshold, *traceSample)
+		slow.Instrument(reg)
+	}
+	var series *obs.TimeSeries
+	if *telemetryAddr != "" && *tsInterval > 0 {
+		series = obs.NewTimeSeries(reg, *tsCap)
+		stop := series.Start(*tsInterval)
+		defer stop()
+	}
+
 	var tel *telemetry.Server
 	var onReport func(*shadow.Report)
 	if *telemetryAddr != "" {
-		tel = telemetry.New(telemetry.Options{Registry: reg, DB: db, Detector: det, Audit: jrn})
+		tel = telemetry.New(telemetry.Options{Registry: reg, DB: db, Detector: det, Audit: jrn,
+			Slow: slow, TimeSeries: series})
 		taddr, err := tel.Start(*telemetryAddr)
 		if err != nil {
 			fatal(err)
 		}
 		defer tel.Close()
 		onReport = tel.SetShadowReport
-		fmt.Printf("aimd: telemetry on http://%s (/metricsz /statusz /healthz /debug/pprof)\n", taddr)
+		fmt.Printf("aimd: telemetry on http://%s (/metricsz /statusz /slowz /timeseriesz /healthz /debug/pprof)\n", taddr)
 	}
 
 	srv := server.New(server.Options{
@@ -130,6 +153,7 @@ func main() {
 		WriteTimeout:     *writeTimeout,
 		DrainTimeout:     *drainTimeout,
 		Obs:              reg,
+		SlowLog:          slow,
 		OnReport:         onReport,
 	})
 	bound, err := srv.Start(*addr)

@@ -50,7 +50,30 @@ const (
 	// EventRevert: the regression detector flagged the index and it was
 	// dropped.
 	EventRevert Event = "revert"
+	// EventWindow: one sealed live-traffic window entered a tuning cycle.
+	// The record maps each normalized query in the window to the concrete
+	// statement IDs (wire trace IDs, or session#seq) that produced it — the
+	// bridge that lets Explain resolve a later adoption back to the exact
+	// live statements that drove it. Offline replays of the same window
+	// write byte-identical window records.
+	EventWindow Event = "window"
 )
+
+// WindowQuery is one normalized query inside an EventWindow record: the
+// query, how many statements in the window executed it, and up to
+// MaxWindowStatements concrete statement IDs in canonical window order.
+type WindowQuery struct {
+	Query string `json:"query"`
+	Count int64  `json:"count"`
+	// Statements holds trace IDs when the client supplied them, otherwise
+	// "session#seq". Capped at MaxWindowStatements per query; Count carries
+	// the true total.
+	Statements []string `json:"statements,omitempty"`
+}
+
+// MaxWindowStatements caps the statement IDs journaled per window query, so
+// a hot query repeated thousands of times per window costs a bounded line.
+const MaxWindowStatements = 16
 
 // Record is one journal line. Fields are event-specific; irrelevant ones
 // stay zero and are omitted from the encoding. IndexKey is the canonical
@@ -101,6 +124,11 @@ type Record struct {
 	Query     string  `json:"query,omitempty"` // regressed normalized query
 	BeforeCPU float64 `json:"before_cpu,omitempty"`
 	AfterCPU  float64 `json:"after_cpu,omitempty"`
+
+	// EventWindow. Cycle is the 0-based tuning-cycle ordinal (omitted when
+	// 0); Queries maps the window's normalized queries to live statement IDs.
+	Cycle   int64         `json:"cycle,omitempty"`
+	Queries []WindowQuery `json:"window_queries,omitempty"`
 }
 
 // Journal appends records to a writer, one JSON line each. Safe for

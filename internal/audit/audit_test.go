@@ -177,3 +177,89 @@ func TestAdoptedThenReverted(t *testing.T) {
 		t.Errorf("AdoptedThenReverted(nil) = %v", got)
 	}
 }
+
+// TestExplainWindowStatements pins the flight-recorder lineage bridge: an
+// EventWindow record preceding an adoption resolves the adopted index back
+// to the concrete live statement IDs whose normalized queries the index
+// serves — and only those. Journals without window records (offline runs)
+// keep WindowStatements empty and render unchanged.
+func TestExplainWindowStatements(t *testing.T) {
+	var sb strings.Builder
+	j := New(&sb)
+	j.Append(&Record{Event: EventCandidate, IndexKey: "events(user_id)", Index: "aim_events_1", Table: "events",
+		PartialOrder: "<{user_id}>", Sources: []string{"SELECT score FROM events WHERE user_id = ?"}})
+	j.Append(&Record{Event: EventWindow, Cycle: 0, Queries: []WindowQuery{
+		{Query: "SELECT score FROM events WHERE user_id = ?", Count: 3,
+			Statements: []string{"t-0001-0-1", "t-0002-0-4", "lg-0003#9"}},
+		{Query: "SELECT id FROM other WHERE kind = ?", Count: 1,
+			Statements: []string{"t-0009-1-1"}},
+	}})
+	// A later window must win over an earlier one: append a second window
+	// before the adopt with refreshed statements.
+	j.Append(&Record{Event: EventWindow, Cycle: 1, Queries: []WindowQuery{
+		{Query: "SELECT score FROM events WHERE user_id = ?", Count: 2,
+			Statements: []string{"t-0001-1-2", "t-0002-1-5"}},
+	}})
+	j.Append(&Record{Event: EventRank, IndexKey: "events(user_id)", Index: "aim_events_1", Table: "events",
+		Selected: boolPtr(true), Decision: "selected"})
+	j.Append(&Record{Event: EventShadow, IndexKey: "events(user_id)", Index: "aim_events_1", Table: "events",
+		Verdict: "accepted"})
+	j.Append(&Record{Event: EventAdopt, IndexKey: "events(user_id)", Index: "aim_events_1", Table: "events"})
+	recs, err := ReadRecords(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Explain(recs, "events(user_id)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Complete() {
+		t.Error("lineage incomplete")
+	}
+	want := []string{"t-0001-1-2", "t-0002-1-5"}
+	if len(l.WindowStatements) != len(want) {
+		t.Fatalf("WindowStatements = %v, want %v", l.WindowStatements, want)
+	}
+	for i := range want {
+		if l.WindowStatements[i] != want[i] {
+			t.Fatalf("WindowStatements = %v, want %v", l.WindowStatements, want)
+		}
+	}
+	var out strings.Builder
+	l.Render(&out, nil)
+	if !strings.Contains(out.String(), "driven by    live statements t-0001-1-2, t-0002-1-5") {
+		t.Errorf("render missing window statements:\n%s", out.String())
+	}
+
+	// Offline journal (no window events): empty resolution, no render line.
+	var sb2 strings.Builder
+	j2 := New(&sb2)
+	sampleJournal(j2)
+	recs2, err := ReadRecords(strings.NewReader(sb2.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Explain(recs2, "events(user_id)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l2.WindowStatements) != 0 {
+		t.Errorf("offline WindowStatements = %v", l2.WindowStatements)
+	}
+	var out2 strings.Builder
+	l2.Render(&out2, nil)
+	if strings.Contains(out2.String(), "driven by") {
+		t.Errorf("offline render grew a window line:\n%s", out2.String())
+	}
+
+	// Window round-trip: the JSON carrier preserves query counts and caps.
+	var winRec *Record
+	for _, r := range recs {
+		if r.Event == EventWindow && r.Cycle == 1 {
+			winRec = r
+		}
+	}
+	if winRec == nil || len(winRec.Queries) != 1 || winRec.Queries[0].Count != 2 {
+		t.Fatalf("window record = %+v", winRec)
+	}
+}

@@ -28,6 +28,11 @@ type Lineage struct {
 	Shadows    []*Record
 	Adopts     []*Record
 	Reverts    []*Record
+	// WindowStatements are the concrete live statement IDs (wire trace IDs
+	// or session#seq) from the sealed window that drove the first adoption —
+	// resolved through the latest EventWindow record preceding it. Empty for
+	// offline/batch journals, which carry no window records.
+	WindowStatements []string
 }
 
 // Adopted reports whether the index was ever materialized.
@@ -121,7 +126,44 @@ func Explain(records []*Record, ref string) (*Lineage, error) {
 			l.Reverts = append(l.Reverts, r)
 		}
 	}
+	l.WindowStatements = windowStatements(records, l)
 	return l, nil
+}
+
+// windowStatements resolves an adopted index back to the live statements
+// that drove it: the candidate records name the normalized queries the index
+// serves, the latest EventWindow before the adoption names the statements
+// that executed each query in that window. Nil when the index was never
+// adopted or the journal has no window records (offline runs).
+func windowStatements(records []*Record, l *Lineage) []string {
+	if !l.Adopted() {
+		return nil
+	}
+	adopt := l.Adopts[0]
+	serves := map[string]bool{}
+	for _, c := range l.Candidates {
+		if c.Seq < adopt.Seq {
+			for _, src := range c.Sources {
+				serves[src] = true
+			}
+		}
+	}
+	var win *Record
+	for _, r := range records {
+		if r.Event == EventWindow && r.Seq < adopt.Seq {
+			win = r // journal order: the last match is the latest window
+		}
+	}
+	if win == nil {
+		return nil
+	}
+	var out []string
+	for _, wq := range win.Queries {
+		if serves[wq.Query] {
+			out = append(out, wq.Statements...)
+		}
+	}
+	return out
 }
 
 // AdoptedThenReverted returns the sorted canonical keys of indexes whose
@@ -254,6 +296,11 @@ func (l *Lineage) Render(w io.Writer, spans map[uint64]SpanInfo) {
 	}
 	for _, r := range l.Adopts {
 		fmt.Fprintf(w, "#%-4d adopt        materialized as %s%s\n", r.Seq, r.Index, annot(r))
+	}
+	// Offline journals have no window records; the line appears only for
+	// live-traffic adoptions so batch goldens stay byte-identical.
+	if len(l.WindowStatements) > 0 {
+		fmt.Fprintf(w, "      driven by    live statements %s\n", strings.Join(l.WindowStatements, ", "))
 	}
 	for _, r := range l.Reverts {
 		fmt.Fprintf(w, "#%-4d revert       %s [%s] regressed %.6fs -> %.6fs cpu_avg; index dropped%s\n",

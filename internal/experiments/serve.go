@@ -40,6 +40,9 @@ type ServeSuiteOptions struct {
 	// JournalPath, when set, receives the last run's normalized decision
 	// journal (one JSON line per record) — the soak artifact.
 	JournalPath string
+	// TimeSeriesPath, when set, receives the last run's /timeseriesz-shaped
+	// sample ring (one tick per round) — the flight-recorder soak artifact.
+	TimeSeriesPath string
 }
 
 // DefaultServeSuiteOptions is the CI "servesuite" configuration: 16
@@ -71,6 +74,13 @@ type ServeRunResult struct {
 	Reverted  int
 	// DrainSeconds is the observed graceful-drain wall clock.
 	DrainSeconds float64
+	// TimeSeries is the run's sample ring (one tick per round barrier),
+	// marshaled in the /timeseriesz payload shape.
+	TimeSeries json.RawMessage
+	// TracedAdoptions counts adopted indexes whose audit lineage resolved to
+	// concrete traced statement IDs; a run with adoptions must have at least
+	// one.
+	TracedAdoptions int
 }
 
 // ServeSuiteResult aggregates the sweep plus the two offline references.
@@ -82,7 +92,11 @@ type ServeSuiteResult struct {
 	// tuner replay of the same windows renders; live runs must match them
 	// byte for byte.
 	ReferenceVerdicts []string
-	Runs              []ServeRunResult
+	// ReferenceJournal is the offline tuner replay's normalized decision
+	// journal — window records included, with the same deterministic trace
+	// IDs the fleet sends. Every live run's journal must equal it.
+	ReferenceJournal []string
+	Runs             []ServeRunResult
 }
 
 // serveSampler is the fleet's read-only statement mix: two hot filter
@@ -149,6 +163,7 @@ func RunServeSuite(opts ServeSuiteOptions) (*ServeSuiteResult, error) {
 		Seed:          opts.Seed,
 		Sample:        serveSampler,
 		TuneEachRound: true,
+		TraceIDs:      true,
 		Timeout:       opts.Timeout,
 	}
 	stream := loadgen.Stream(lgOpts)
@@ -161,11 +176,12 @@ func RunServeSuite(opts ServeSuiteOptions) (*ServeSuiteResult, error) {
 	if len(out.ReferenceKeys) == 0 {
 		return nil, fmt.Errorf("serve: offline replay adopted no indexes; fixture is not exercising the loop")
 	}
-	refKeys2, refVerdicts, err := serveTunerReplay(opts, stream)
+	refKeys2, refVerdicts, refJournal, err := serveTunerReplay(opts, stream)
 	if err != nil {
 		return nil, err
 	}
 	out.ReferenceVerdicts = refVerdicts
+	out.ReferenceJournal = refJournal
 	if !equalStrings(out.ReferenceKeys, refKeys2) {
 		return nil, fmt.Errorf("serve: offline loop and offline tuner disagree: %v vs %v", out.ReferenceKeys, refKeys2)
 	}
@@ -182,9 +198,12 @@ func RunServeSuite(opts ServeSuiteOptions) (*ServeSuiteResult, error) {
 			return nil, fmt.Errorf("serve: workers=%d verdicts diverge from offline replay:\n live:   %s\n replay: %s",
 				workers, strings.Join(run.Verdicts, " | "), strings.Join(out.ReferenceVerdicts, " | "))
 		}
-		if len(out.Runs) > 0 && !equalStrings(run.Journal, out.Runs[0].Journal) {
-			return nil, fmt.Errorf("serve: workers=%d journal diverges from workers=%d (%d vs %d records)",
-				workers, out.Runs[0].Workers, len(run.Journal), len(out.Runs[0].Journal))
+		if !equalStrings(run.Journal, out.ReferenceJournal) {
+			return nil, fmt.Errorf("serve: workers=%d journal diverges from offline tuner replay (%d vs %d records)",
+				workers, len(run.Journal), len(out.ReferenceJournal))
+		}
+		if run.Adoptions > 0 && run.TracedAdoptions == 0 {
+			return nil, fmt.Errorf("serve: workers=%d adopted %d indexes but no lineage resolved to traced statements", workers, run.Adoptions)
 		}
 		out.Runs = append(out.Runs, *run)
 	}
@@ -194,6 +213,12 @@ func RunServeSuite(opts ServeSuiteOptions) (*ServeSuiteResult, error) {
 		data := strings.Join(last.Journal, "\n") + "\n"
 		if err := os.WriteFile(opts.JournalPath, []byte(data), 0o644); err != nil {
 			return nil, fmt.Errorf("serve: journal artifact: %v", err)
+		}
+	}
+	if opts.TimeSeriesPath != "" && len(out.Runs) > 0 {
+		last := out.Runs[len(out.Runs)-1]
+		if err := os.WriteFile(opts.TimeSeriesPath, append([]byte(nil), last.TimeSeries...), 0o644); err != nil {
+			return nil, fmt.Errorf("serve: timeseries artifact: %v", err)
 		}
 	}
 	return out, nil
@@ -233,10 +258,16 @@ func serveLoopReplay(opts ServeSuiteOptions, stream [][]string) ([]string, error
 
 // serveTunerReplay replays the fleet stream through the server's own Tuner,
 // single-threaded with no statement gate, building each round's window in
-// the canonical (session, seq) order the live collector seals. Its verdict
-// lines are the reference a live run must reproduce byte for byte.
-func serveTunerReplay(opts ServeSuiteOptions, stream [][]string) ([]string, []string, error) {
+// the canonical (session, seq) order the live collector seals — including
+// the deterministic trace IDs the fleet sends. Its verdict lines and its
+// normalized decision journal (window records included) are the references
+// a live run must reproduce byte for byte.
+func serveTunerReplay(opts ServeSuiteOptions, stream [][]string) ([]string, []string, []string, error) {
 	db := serveFixture(opts.Rows, opts.Seed)
+	var buf bytes.Buffer
+	jrn := audit.New(&buf)
+	jrn.SetClock(func() int64 { return 0 })
+	db.SetAudit(jrn)
 	cfg := serveAdvisorCfg(1)
 	tuner := &server.Tuner{
 		DB:       db,
@@ -253,20 +284,32 @@ func serveTunerReplay(opts ServeSuiteOptions, stream [][]string) ([]string, []st
 				sql := stream[round][c*opts.PerRound+i]
 				res, err := db.Exec(sql)
 				if err != nil {
-					return nil, nil, fmt.Errorf("serve: tuner replay round %d %s: %v", round, sql, err)
+					return nil, nil, nil, fmt.Errorf("serve: tuner replay round %d %s: %v", round, sql, err)
 				}
 				seq[c]++
-				w = append(w, server.Record{Session: loadgen.Label(c), Seq: seq[c], SQL: sql, Stats: res.Stats})
+				w = append(w, server.Record{Session: loadgen.Label(c), Seq: seq[c],
+					Trace: loadgen.Trace(c, round, i), SQL: sql, Stats: res.Stats})
 			}
 		}
 		server.SortWindow(w)
 		line, err := tuner.CycleWindow(w)
 		if err != nil {
-			return nil, nil, fmt.Errorf("serve: tuner replay round %d: %v", round, err)
+			return nil, nil, nil, fmt.Errorf("serve: tuner replay round %d: %v", round, err)
 		}
 		verdicts = append(verdicts, line)
 	}
-	return automationIndexKeys(db), verdicts, nil
+	if err := jrn.Close(); err != nil {
+		return nil, nil, nil, fmt.Errorf("serve: tuner replay journal: %v", err)
+	}
+	records, err := audit.ReadRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("serve: tuner replay journal: %v", err)
+	}
+	journal, err := normalizeJournal(records)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return automationIndexKeys(db), verdicts, journal, nil
 }
 
 // serveLiveRun boots a real server on an ephemeral loopback port, drives
@@ -280,11 +323,21 @@ func serveLiveRun(opts ServeSuiteOptions, lgOpts loadgen.Options, workers int) (
 	jrn.SetClock(func() int64 { return 0 })
 	db.SetAudit(jrn)
 
+	// Full flight recorder on: slow-query capture with a threshold no
+	// loopback statement crosses (so the ring content is pure deterministic
+	// 1-in-N sampling) and a per-round time-series tick. The determinism
+	// cross-checks below thereby certify the recorder never perturbs tuning.
+	slow := obs.NewSlowLog(256, time.Hour, 100)
+	slow.Instrument(reg)
+	series := obs.NewTimeSeries(reg, opts.Rounds+1)
+	lgOpts.OnRound = func(int) { series.Tick(time.Now()) }
+
 	cfg := serveAdvisorCfg(workers)
 	srv := server.New(server.Options{
 		DB:         db,
 		AdvisorCfg: &cfg,
 		Obs:        reg,
+		SlowLog:    slow,
 		// The whole fleet plus the control connection must be admitted at
 		// once — a bounded accept that parks client N+1 would deadlock the
 		// round barrier. WindowStatements stays 0: the barriers own the cycle
@@ -318,6 +371,17 @@ func serveLiveRun(opts ServeSuiteOptions, lgOpts loadgen.Options, workers int) (
 	if want := int64(opts.Clients) * int64(opts.Rounds) * int64(opts.PerRound); res.Statements != want {
 		return nil, fmt.Errorf("fleet executed %d statements, want %d", res.Statements, want)
 	}
+	total := int64(opts.Clients) * int64(opts.Rounds) * int64(opts.PerRound)
+	snap := reg.Snapshot()
+	if got := snap.Counters["slowlog.observed"]; got != total {
+		return nil, fmt.Errorf("slow log observed %d statements, want %d", got, total)
+	}
+	// Nothing crosses the 1h threshold, so the ring holds exactly the
+	// deterministic 1-in-100 sample of the fleet's statements.
+	wantSampled := (total + 99) / 100
+	if got := int64(slow.Len()); got != wantSampled {
+		return nil, fmt.Errorf("slow log holds %d entries, want %d sampled", got, wantSampled)
+	}
 	for _, line := range srv.Tuner().Verdicts() {
 		if strings.HasPrefix(line, "FATAL") {
 			return nil, fmt.Errorf("tuner aborted: %s", line)
@@ -331,34 +395,43 @@ func serveLiveRun(opts ServeSuiteOptions, lgOpts loadgen.Options, workers int) (
 	if err != nil {
 		return nil, fmt.Errorf("journal: %v", err)
 	}
-	if err := auditAdoptions(records); err != nil {
+	traced, err := auditAdoptions(records)
+	if err != nil {
 		return nil, err
 	}
 	normalized, err := normalizeJournal(records)
 	if err != nil {
 		return nil, err
 	}
+	seriesJSON, err := series.MarshalJSON()
+	if err != nil {
+		return nil, fmt.Errorf("timeseries: %v", err)
+	}
 
 	t := srv.Tuner()
 	return &ServeRunResult{
-		Workers:      workers,
-		Statements:   res.Statements,
-		Rows:         res.Rows,
-		Verdicts:     res.Verdicts,
-		Journal:      normalized,
-		IndexKeys:    automationIndexKeys(db),
-		Adoptions:    t.Adoptions,
-		Reverted:     t.Reverted,
-		DrainSeconds: reg.Histogram("server.drain_seconds").Sum(),
+		Workers:         workers,
+		Statements:      res.Statements,
+		Rows:            res.Rows,
+		Verdicts:        res.Verdicts,
+		Journal:         normalized,
+		IndexKeys:       automationIndexKeys(db),
+		Adoptions:       t.Adoptions,
+		Reverted:        t.Reverted,
+		DrainSeconds:    reg.Histogram("server.drain_seconds").Sum(),
+		TimeSeries:      seriesJSON,
+		TracedAdoptions: traced,
 	}, nil
 }
 
 // auditAdoptions asserts the zero-ungated-adoptions invariant from the
 // journal itself: every adopt record must close a complete lineage —
 // candidate, selecting rank decision and an accepting shadow verdict, all
-// before the adoption.
-func auditAdoptions(records []*audit.Record) error {
+// before the adoption. It returns how many adopted indexes additionally
+// resolved to concrete traced statement IDs via the preceding window record.
+func auditAdoptions(records []*audit.Record) (int, error) {
 	seen := map[string]bool{}
+	traced := 0
 	for _, r := range records {
 		if r.Event != audit.EventAdopt || seen[r.IndexKey] {
 			continue
@@ -366,14 +439,17 @@ func auditAdoptions(records []*audit.Record) error {
 		seen[r.IndexKey] = true
 		lin, err := audit.Explain(records, r.IndexKey)
 		if err != nil {
-			return fmt.Errorf("lineage %s: %v", r.IndexKey, err)
+			return 0, fmt.Errorf("lineage %s: %v", r.IndexKey, err)
 		}
 		if !lin.Complete() {
-			return fmt.Errorf("ungated adoption: %s has an incomplete lineage (candidates=%d ranks=%d shadows=%d)",
+			return 0, fmt.Errorf("ungated adoption: %s has an incomplete lineage (candidates=%d ranks=%d shadows=%d)",
 				r.IndexKey, len(lin.Candidates), len(lin.Ranks), len(lin.Shadows))
 		}
+		if len(lin.WindowStatements) > 0 && strings.HasPrefix(lin.WindowStatements[0], "t-") {
+			traced++
+		}
 	}
-	return nil
+	return traced, nil
 }
 
 // normalizeJournal re-renders records with wall-clock timestamps and span

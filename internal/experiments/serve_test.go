@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"os"
 	"testing"
 )
@@ -28,6 +29,7 @@ func serveSuiteOptions(t *testing.T) ServeSuiteOptions {
 		}
 	}
 	opts.JournalPath = os.Getenv("AIM_SERVE_JOURNAL")
+	opts.TimeSeriesPath = os.Getenv("AIM_SERVE_TIMESERIES")
 	return opts
 }
 
@@ -58,10 +60,27 @@ func TestServeSuite(t *testing.T) {
 	}
 	t.Logf("reference index set: %v", res.ReferenceKeys)
 	for _, run := range res.Runs {
-		t.Logf("workers=%d stmts=%d rows=%d adoptions=%d reverted=%d drain=%.3fs journal=%d records",
-			run.Workers, run.Statements, run.Rows, run.Adoptions, run.Reverted, run.DrainSeconds, len(run.Journal))
+		t.Logf("workers=%d stmts=%d rows=%d adoptions=%d traced=%d reverted=%d drain=%.3fs journal=%d records",
+			run.Workers, run.Statements, run.Rows, run.Adoptions, run.TracedAdoptions, run.Reverted, run.DrainSeconds, len(run.Journal))
 		if run.Adoptions == 0 {
 			t.Errorf("workers=%d: live run adopted nothing", run.Workers)
+		}
+		if run.TracedAdoptions == 0 {
+			t.Errorf("workers=%d: no adoption lineage resolved to traced statement IDs", run.Workers)
+		}
+		var ts struct {
+			Samples []struct {
+				Rates map[string]float64 `json:"rates,omitempty"`
+			} `json:"samples"`
+		}
+		if err := json.Unmarshal(run.TimeSeries, &ts); err != nil {
+			t.Fatalf("workers=%d: timeseries not JSON: %v", run.Workers, err)
+		}
+		if len(ts.Samples) != opts.Rounds {
+			t.Errorf("workers=%d: %d timeseries samples, want one per round (%d)", run.Workers, len(ts.Samples), opts.Rounds)
+		}
+		if len(ts.Samples) > 1 && ts.Samples[1].Rates["server.frames"] <= 0 {
+			t.Errorf("workers=%d: timeseries has no server.frames rate: %+v", run.Workers, ts.Samples[1])
 		}
 	}
 	// RunServeSuite already failed hard on any divergence; spot-check the

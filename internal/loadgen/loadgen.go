@@ -42,6 +42,15 @@ type Options struct {
 	// TuneEachRound, when set, triggers one tuning cycle (OpTune) at each
 	// round barrier, after every client's statements are answered.
 	TuneEachRound bool
+	// TraceIDs, when set, sends every statement as a traced query carrying
+	// Trace(client, round, i). Against a v1 server the client silently falls
+	// back to plain queries, so the option is safe across generations.
+	TraceIDs bool
+	// OnRound, when set, runs at each round barrier — after every client's
+	// statements are answered and after the round's tuning cycle — on the
+	// fleet goroutine. Used for periodic sampling (time-series ticks) pinned
+	// to round boundaries.
+	OnRound func(round int)
 	// Timeout bounds each frame round-trip (0 = 30s).
 	Timeout time.Duration
 }
@@ -63,6 +72,14 @@ type Result struct {
 // zero-padded index keeps the canonical window sort order equal to client
 // index order.
 func Label(client int) string { return fmt.Sprintf("lg-%04d", client) }
+
+// Trace returns the deterministic trace ID of statement i of one client's
+// round — a pure function of position, so an offline replay of the stream
+// can reconstruct the exact IDs a networked fleet sent and journals stay
+// byte-comparable.
+func Trace(client, round, i int) string {
+	return fmt.Sprintf("t-%04d-%d-%d", client, round, i)
+}
 
 // Stream precomputes the full fleet statement stream:
 // stream[round][client*PerRound+i] is statement i of that client's round,
@@ -145,7 +162,13 @@ func Run(opts Options) (*Result, error) {
 				defer wg.Done()
 				base := c * opts.PerRound
 				for i := 0; i < opts.PerRound; i++ {
-					r, err := clients[c].Query(stream[round][base+i])
+					var r *server.Result
+					var err error
+					if opts.TraceIDs {
+						r, err = clients[c].QueryTraced(Trace(c, round, i), stream[round][base+i])
+					} else {
+						r, err = clients[c].Query(stream[round][base+i])
+					}
 					if err != nil {
 						errMu.Lock()
 						res.Errors = append(res.Errors, fmt.Sprintf("%s r%d#%d: %v", Label(c), round, i, err))
@@ -164,6 +187,9 @@ func Run(opts Options) (*Result, error) {
 				return nil, fmt.Errorf("loadgen: tune after round %d: %v", round, err)
 			}
 			res.Verdicts = append(res.Verdicts, line)
+		}
+		if opts.OnRound != nil {
+			opts.OnRound(round)
 		}
 	}
 	res.Statements = stmts.Load()

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -212,7 +213,8 @@ func TestSpanTraceJSON(t *testing.T) {
 // TestTraceBufferRotation drives the byte-capped trace sink across the
 // rotation boundary: the write that pushes the buffer over the limit must
 // evict whole oldest lines (never partial ones), and a single line larger
-// than the limit is itself discarded so the cap is a hard bound.
+// than the limit is truncated with a visible marker so the cap stays a hard
+// bound without silently discarding the span.
 func TestTraceBufferRotation(t *testing.T) {
 	line := func(i int) string { return fmt.Sprintf("{\"id\":%03d}\n", i) } // fixed 11 bytes
 	tb := NewTraceBuffer(3 * len(line(0)))
@@ -241,11 +243,15 @@ func TestTraceBufferRotation(t *testing.T) {
 		t.Fatalf("after burst:\n got %q\nwant %q", got, want)
 	}
 
-	// An oversized single line cannot wedge the buffer above the cap.
+	// An oversized single line cannot wedge the buffer above the cap: it is
+	// truncated in place and flagged with the marker.
 	huge := strings.Repeat("x", 4*len(line(0))) // no trailing newline yet
 	tb.Write([]byte(huge))
-	if tb.Len() != 0 {
-		t.Fatalf("oversized line retained: len=%d", tb.Len())
+	if tb.Len() > 3*len(line(0)) {
+		t.Fatalf("oversized line wedged buffer above cap: len=%d", tb.Len())
+	}
+	if got := tb.String(); !strings.HasSuffix(got, traceTruncMarker) || !strings.HasPrefix(got, "xxx") {
+		t.Fatalf("oversized line not truncated-with-marker: %q", got)
 	}
 
 	// Shrinking the limit evicts immediately.
@@ -283,5 +289,131 @@ func TestHistogramSnapshotBuckets(t *testing.T) {
 	var nilH *Histogram
 	if s := nilH.Snapshot(); s.Count != 0 || len(s.Buckets) != 0 {
 		t.Errorf("nil snapshot = %+v", s)
+	}
+}
+
+// TestTraceBufferTruncateMarker is the regression for single-line rotation:
+// a complete line (trailing newline present) that alone exceeds the limit
+// must be truncated with the marker, not kept verbatim and not silently
+// dropped — and a limit smaller than the marker still holds as a hard cap.
+func TestTraceBufferTruncateMarker(t *testing.T) {
+	tb := NewTraceBuffer(24)
+	before := tb.Dropped()
+	tb.Write([]byte(strings.Repeat("y", 40) + "\n")) // one complete oversized line
+	if tb.Dropped() != before+1 {
+		t.Fatalf("dropped = %d, want %d", tb.Dropped(), before+1)
+	}
+	if tb.Len() > 24 {
+		t.Fatalf("cap violated: len=%d", tb.Len())
+	}
+	got := tb.String()
+	if !strings.HasSuffix(got, traceTruncMarker) {
+		t.Fatalf("missing marker: %q", got)
+	}
+	if !strings.HasPrefix(got, "yyy") {
+		t.Fatalf("head of line not preserved: %q", got)
+	}
+
+	// Writes after a truncation start cleanly on a new line.
+	tb.Write([]byte("{\"id\":1}\n"))
+	lines := strings.Split(strings.TrimSuffix(tb.String(), "\n"), "\n")
+	if last := lines[len(lines)-1]; last != "{\"id\":1}" {
+		t.Fatalf("post-truncation line corrupted: %q (buffer %q)", last, tb.String())
+	}
+
+	// Limit below the marker size: still a hard bound.
+	tiny := NewTraceBuffer(5)
+	tiny.Write([]byte(strings.Repeat("z", 30) + "\n"))
+	if tiny.Len() > 5 {
+		t.Fatalf("tiny cap violated: len=%d", tiny.Len())
+	}
+}
+
+// TestSpanAnnotate pins the trace-line annotation format the flight recorder
+// relies on: key/value pairs appended to the span JSON, absent when no
+// annotations were made, and nil-safe.
+func TestSpanAnnotate(t *testing.T) {
+	r := NewRegistry()
+	var buf TraceBuffer
+	r.SetTraceWriter(&buf)
+
+	r.StartSpan("server/stmt").
+		Annotate("session", "lg-0001").
+		Annotate("seq", "42").
+		Annotate("trace", "t-0001-0-3").
+		End()
+	r.StartSpan("plain").End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("trace lines = %d: %q", len(lines), buf.String())
+	}
+	var annotated map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &annotated); err != nil {
+		t.Fatalf("annotated line not JSON: %v (%s)", err, lines[0])
+	}
+	if annotated["session"] != "lg-0001" || annotated["seq"] != "42" || annotated["trace"] != "t-0001-0-3" {
+		t.Errorf("annotations = %v", annotated)
+	}
+	var plain map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &plain); err != nil {
+		t.Fatalf("plain line not JSON: %v (%s)", err, lines[1])
+	}
+	if _, ok := plain["session"]; ok {
+		t.Errorf("unannotated span leaked attrs: %v", plain)
+	}
+
+	var nilSpan *Span
+	if nilSpan.Annotate("k", "v") != nil {
+		t.Error("nil span Annotate should return nil")
+	}
+}
+
+// TestHistogramEdgeBucketQuantiles pins quantile semantics at the bucket
+// extremes before /timeseriesz starts publishing them: the zero bucket
+// reports 0, the overflow (96th) bucket reports its geometric midpoint, and
+// a single observation pins every percentile to its bucket representative.
+func TestHistogramEdgeBucketQuantiles(t *testing.T) {
+	// Bucket 0: zero, negative, NaN and sub-range observations all land in
+	// bucket 0, whose representative is exactly 0 at every percentile.
+	h0 := &Histogram{}
+	h0.Observe(0)
+	h0.Observe(-3)
+	h0.Observe(math.NaN())
+	h0.Observe(1e-15) // below the bucket range floor
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		if got := h0.Quantile(q); got != 0 {
+			t.Errorf("bucket-0 Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// Overflow bucket: observations past the top of the range clamp into the
+	// last (96th) bucket; its representative is the geometric midpoint of
+	// [2^54, 2^55).
+	hTop := &Histogram{}
+	hTop.Observe(1e30)
+	hTop.Observe(math.MaxFloat64)
+	wantTop := math.Exp2(float64(histBuckets-1-histBias)) * math.Sqrt2 / 2
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		if got := hTop.Quantile(q); got != wantTop {
+			t.Errorf("overflow Quantile(%v) = %v, want %v", q, got, wantTop)
+		}
+	}
+	if snap := hTop.Snapshot(); len(snap.Buckets) != 1 ||
+		snap.Buckets[0].UpperBound != math.Exp2(float64(histBuckets-1-histBias)) {
+		t.Errorf("overflow snapshot = %+v", hTop.Snapshot())
+	}
+
+	// Single observation: p50 = p95 = p99 = the one bucket's representative.
+	h1 := &Histogram{}
+	h1.Observe(0.75)
+	want := math.Sqrt2 / 2 // geometric midpoint of [0.5, 1)
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		if got := h1.Quantile(q); got != want {
+			t.Errorf("single-obs Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if h1.Count() != 1 || h1.Sum() != 0.75 {
+		t.Errorf("count=%d sum=%v", h1.Count(), h1.Sum())
 	}
 }

@@ -22,6 +22,12 @@ type Span struct {
 	id     uint64
 	parent uint64
 	start  time.Time
+	attrs  []spanAttr
+}
+
+// spanAttr is one key/value annotation carried on the span's trace line.
+type spanAttr struct {
+	key, val string
 }
 
 // StartSpan opens a root span. Returns nil on a nil registry.
@@ -54,6 +60,19 @@ func (s *Span) Child(name string) *Span {
 		parent: s.id,
 		start:  time.Now(),
 	}
+}
+
+// Annotate attaches a key/value pair to the span's trace line — the flight
+// recorder uses it to stamp per-statement spans with (session, seq, trace)
+// so a journal or slow-log entry can be joined back to the exact span.
+// Annotations are emit-only: they never affect the span histogram. Returns
+// the span for chaining; no-op on nil.
+func (s *Span) Annotate(key, value string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, spanAttr{key: key, val: value})
+	return s
 }
 
 // End closes the span: its duration lands in the registry's span histogram
@@ -90,8 +109,16 @@ func (r *Registry) emitTrace(s *Span, d time.Duration) {
 	if r.trace == nil {
 		return
 	}
-	fmt.Fprintf(r.trace, `{"name":%q,"id":%d,"parent":%d,"start_us":%d,"dur_us":%.1f}`+"\n",
+	// The line is built up front and handed to the sink in one Write:
+	// bounded sinks (TraceBuffer) evict on line boundaries, so a span must
+	// never arrive split across writes.
+	line := fmt.Appendf(nil, `{"name":%q,"id":%d,"parent":%d,"start_us":%d,"dur_us":%.1f`,
 		s.name, s.id, s.parent, s.start.UnixMicro(), float64(d.Nanoseconds())/1e3)
+	for _, a := range s.attrs {
+		line = fmt.Appendf(line, `,%q:%q`, a.key, a.val)
+	}
+	line = append(line, '}', '\n')
+	r.trace.Write(line)
 }
 
 // TraceBuffer is a minimal in-memory trace sink for tests and for callers
@@ -130,18 +157,33 @@ func (t *TraceBuffer) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
+// traceTruncMarker replaces the tail of a span line that alone exceeds the
+// buffer limit. Consumers treat any line ending in the marker as damaged.
+const traceTruncMarker = "...truncated\n"
+
 // evictLocked drops whole lines from the front until the buffer fits the
-// limit. A single line larger than the limit is itself dropped: the cap is a
-// hard memory bound, not a best-effort one.
+// limit. When the buffer is down to a single line that still exceeds the
+// limit, the line is truncated in place with traceTruncMarker appended —
+// the cap is a hard memory bound, and the marker makes the damage visible
+// instead of silently discarding the span.
 func (t *TraceBuffer) evictLocked() {
 	if t.limit <= 0 {
 		return
 	}
 	for len(t.buf) > t.limit {
 		nl := bytes.IndexByte(t.buf, '\n')
-		if nl < 0 {
-			t.buf = t.buf[:0]
+		if nl < 0 || nl == len(t.buf)-1 {
+			// One line left (complete or still being appended to) and it is
+			// over the limit by itself: truncate with marker.
 			t.dropped++
+			keep := t.limit - len(traceTruncMarker)
+			if keep < 0 {
+				keep = 0
+			}
+			t.buf = append(t.buf[:keep], traceTruncMarker...)
+			if len(t.buf) > t.limit {
+				t.buf = t.buf[:t.limit]
+			}
 			return
 		}
 		t.buf = t.buf[nl+1:]

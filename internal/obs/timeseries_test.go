@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestTimeSeriesRates drives two ticks and checks counter deltas turn into
+// per-second rates, gauges snapshot instantaneously, and the first tick
+// carries no rates.
+func TestTimeSeriesRates(t *testing.T) {
+	reg := NewRegistry()
+	ts := NewTimeSeries(reg, 8)
+	t0 := time.UnixMicro(1_000_000)
+
+	reg.Counter("server.statements").Add(100)
+	reg.Gauge("server.active_conns").Set(3)
+	ts.Tick(t0)
+
+	reg.Counter("server.statements").Add(50)
+	reg.Gauge("server.active_conns").Set(7)
+	ts.Tick(t0.Add(2 * time.Second))
+
+	samples := ts.Samples()
+	if len(samples) != 2 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	first, second := samples[0], samples[1]
+	if first.Rates != nil || first.IntervalSeconds != 0 {
+		t.Errorf("first tick has rates: %+v", first)
+	}
+	if first.Counters["server.statements"] != 100 || first.Gauges["server.active_conns"] != 3 {
+		t.Errorf("first sample = %+v", first)
+	}
+	if second.IntervalSeconds != 2 {
+		t.Errorf("interval = %v", second.IntervalSeconds)
+	}
+	if got := second.Rates["server.statements"]; got != 25 { // 50 over 2s
+		t.Errorf("rate = %v, want 25", got)
+	}
+	if second.Counters["server.statements"] != 150 || second.Gauges["server.active_conns"] != 7 {
+		t.Errorf("second sample = %+v", second)
+	}
+}
+
+// TestTimeSeriesHistogramDeltas checks histogram and span families report
+// per-interval count/sum movement plus current quantiles.
+func TestTimeSeriesHistogramDeltas(t *testing.T) {
+	reg := NewRegistry()
+	ts := NewTimeSeries(reg, 8)
+	t0 := time.UnixMicro(0)
+
+	reg.Histogram("exec.latency").Observe(0.75)
+	ts.Tick(t0)
+	reg.Histogram("exec.latency").Observe(0.75)
+	reg.Histogram("exec.latency").Observe(0.75)
+	sp := reg.StartSpan("cycle")
+	sp.End()
+	ts.Tick(t0.Add(time.Second))
+
+	samples := ts.Samples()
+	h1 := samples[0].Histograms["exec.latency"]
+	if h1.CountDelta != 1 || h1.SumDelta != 0.75 {
+		t.Errorf("first hist delta = %+v", h1)
+	}
+	h2 := samples[1].Histograms["exec.latency"]
+	if h2.CountDelta != 2 || h2.SumDelta != 1.5 {
+		t.Errorf("second hist delta = %+v", h2)
+	}
+	want := math.Sqrt2 / 2 // all observations in the [0.5,1) bucket
+	if h2.P50 != want || h2.P95 != want || h2.P99 != want {
+		t.Errorf("quantiles = %+v, want %v", h2, want)
+	}
+	if s, ok := samples[1].Spans["cycle"]; !ok || s.CountDelta != 1 {
+		t.Errorf("span family = %+v", samples[1].Spans)
+	}
+}
+
+// TestTimeSeriesRingWrap fills past capacity: oldest samples fall off,
+// newest survive in order.
+func TestTimeSeriesRingWrap(t *testing.T) {
+	reg := NewRegistry()
+	ts := NewTimeSeries(reg, 3)
+	base := time.UnixMicro(0)
+	for i := 0; i < 7; i++ {
+		reg.Counter("c").Inc()
+		ts.Tick(base.Add(time.Duration(i) * time.Second))
+	}
+	samples := ts.Samples()
+	if len(samples) != 3 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	for i, s := range samples {
+		if want := int64(5 + i); s.Counters["c"] != want {
+			t.Fatalf("samples[%d] counter = %d, want %d", i, s.Counters["c"], want)
+		}
+	}
+}
+
+// TestTimeSeriesJSON pins the /timeseriesz payload shape: capacity plus
+// oldest-first samples, and an empty-but-valid document from a nil or
+// unticked recorder.
+func TestTimeSeriesJSON(t *testing.T) {
+	reg := NewRegistry()
+	ts := NewTimeSeries(reg, 4)
+	reg.Counter("c").Inc()
+	ts.Tick(time.UnixMicro(42))
+
+	raw, err := json.Marshal(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Capacity int        `json:"capacity"`
+		Samples  []TSSample `json:"samples"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("payload not JSON: %v (%s)", err, raw)
+	}
+	if doc.Capacity != 4 || len(doc.Samples) != 1 || doc.Samples[0].TSUS != 42 {
+		t.Errorf("payload = %+v", doc)
+	}
+
+	// Direct MarshalJSON on a nil recorder (the /timeseriesz handler path
+	// when time-series sampling is off) renders an empty-but-valid payload.
+	var nilTS *TimeSeries
+	raw, err = nilTS.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil || doc.Capacity != 0 || len(doc.Samples) != 0 {
+		t.Errorf("nil recorder payload = %s (err %v)", raw, err)
+	}
+}
+
+// TestTimeSeriesNilSafe: nil registry → nil recorder; every method inert.
+func TestTimeSeriesNilSafe(t *testing.T) {
+	ts := NewTimeSeries(nil, 8)
+	if ts != nil {
+		t.Fatal("nil registry should yield nil recorder")
+	}
+	ts.Tick(time.Now())
+	if ts.Samples() != nil {
+		t.Error("nil recorder returned samples")
+	}
+	stop := ts.Start(time.Second)
+	stop()
+	stop()
+}
+
+// TestTimeSeriesStartStop exercises the background ticker: at least the
+// immediate first sample lands, and stop is idempotent.
+func TestTimeSeriesStartStop(t *testing.T) {
+	reg := NewRegistry()
+	ts := NewTimeSeries(reg, 8)
+	stop := ts.Start(time.Hour) // immediate tick, then effectively never
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(ts.Samples()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no sample after Start")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop()
+}

@@ -5,6 +5,7 @@ import (
 	"net"
 	"time"
 
+	"aim/internal/obs"
 	"aim/internal/sqltypes"
 )
 
@@ -14,6 +15,9 @@ import (
 type Client struct {
 	conn    net.Conn
 	timeout time.Duration
+	// version is the server's advertised protocol version, learned from the
+	// Hello response (0 until Hello succeeds — v1 framing assumed).
+	version int64
 }
 
 // Dial connects to an aimd server. timeout bounds each frame round-trip
@@ -42,14 +46,26 @@ func (c *Client) roundTrip(req Request) (*Response, error) {
 	return DecodeResponse(payload)
 }
 
-// Hello declares the session label (deterministic window attribution).
+// Hello declares the session label (deterministic window attribution) and
+// learns the server's protocol version from the response: a v2 server
+// advertises ProtoVersion in Affected, a v1 server leaves it 0. The hello
+// frame itself is unchanged from v1, so the exchange is safe against any
+// server generation.
 func (c *Client) Hello(label string) error {
 	resp, err := c.roundTrip(Request{Op: OpHello, SQL: label})
 	if err != nil {
 		return err
 	}
-	return resp.Err()
+	if err := resp.Err(); err != nil {
+		return err
+	}
+	c.version = resp.Affected
+	return nil
 }
+
+// Version returns the server's advertised protocol version (0 before Hello,
+// or against a v1 server).
+func (c *Client) Version() int64 { return c.version }
 
 // Ping round-trips a liveness probe.
 func (c *Client) Ping() error {
@@ -73,7 +89,27 @@ type Result struct {
 // Query executes one SQL statement. Server-side statement failures come
 // back as errors carrying the remote code and message.
 func (c *Client) Query(sql string) (*Result, error) {
-	resp, err := c.roundTrip(Request{Op: OpQuery, SQL: sql})
+	return c.query(Request{Op: OpQuery, SQL: sql})
+}
+
+// QueryTraced executes one SQL statement carrying a client trace ID. When
+// the server negotiated v1 (or Hello was never sent) the trace is dropped
+// and the statement goes out as a plain v1 Query — old servers see exactly
+// the frames they always did. Trace IDs longer than MaxTraceID are
+// truncated rather than rejected: an oversized ID is an annotation problem,
+// not a reason to fail the statement.
+func (c *Client) QueryTraced(trace, sql string) (*Result, error) {
+	if c.version < 2 || trace == "" {
+		return c.Query(sql)
+	}
+	if len(trace) > MaxTraceID {
+		trace = trace[:MaxTraceID]
+	}
+	return c.query(Request{Op: OpQueryTraced, Trace: trace, SQL: sql})
+}
+
+func (c *Client) query(req Request) (*Result, error) {
+	resp, err := c.roundTrip(req)
 	if err != nil {
 		return nil, err
 	}
@@ -85,6 +121,22 @@ func (c *Client) Query(sql string) (*Result, error) {
 	default:
 		return nil, resp.Err()
 	}
+}
+
+// Slow retrieves the server's slow-query log (v2; errors against a v1
+// server, which cannot answer the opcode).
+func (c *Client) Slow() ([]obs.SlowEntry, error) {
+	if c.version < 2 {
+		return nil, fmt.Errorf("server: peer speaks protocol v%d; slow log needs v2", c.version)
+	}
+	resp, err := c.roundTrip(Request{Op: OpSlow})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Tag != TagSlow {
+		return nil, resp.Err()
+	}
+	return resp.Slow, nil
 }
 
 // Tune seals the server's current window and runs one tuning cycle,

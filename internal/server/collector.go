@@ -17,8 +17,13 @@ import (
 type Record struct {
 	Session string
 	Seq     uint64
-	SQL     string
-	Stats   exec.Stats
+	// Trace is the client-supplied trace ID ("" when the statement arrived
+	// on a v1 frame). It rides the record into the tuning cycle so the audit
+	// journal's window events can name the exact live statements that drove
+	// a decision.
+	Trace string
+	SQL   string
+	Stats exec.Stats
 }
 
 // Collector buffers the live statement stream into sliding windows for the

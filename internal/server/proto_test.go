@@ -1,0 +1,278 @@
+package server
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"aim/internal/audit"
+	"aim/internal/obs"
+)
+
+// TestProtocolV2Negotiation: a v2 client against a v2 server learns the
+// version from Hello, sends traced queries, and the trace IDs land on the
+// collector records.
+func TestProtocolV2Negotiation(t *testing.T) {
+	s, addr := startTestServer(t, Options{})
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.Version(); got != 0 {
+		t.Fatalf("version before hello = %d", got)
+	}
+	if err := c.Hello("lg-0001"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Version(); got != ProtoVersion {
+		t.Fatalf("negotiated version = %d, want %d", got, ProtoVersion)
+	}
+	if _, err := c.QueryTraced("t-0001-0-1", "SELECT v FROM kv WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.QueryTraced("", "SELECT v FROM kv WHERE id = 2"); err != nil {
+		t.Fatal(err)
+	}
+	w := s.Collector().Flush()
+	if len(w) != 2 {
+		t.Fatalf("window = %d records", len(w))
+	}
+	if w[0].Trace != "t-0001-0-1" || w[0].Session != "lg-0001" || w[0].Seq != 1 {
+		t.Fatalf("traced record = %+v", w[0])
+	}
+	if w[1].Trace != "" {
+		t.Fatalf("untraced record carries trace: %+v", w[1])
+	}
+}
+
+// TestProtocolOldClientNewServer drives a new server with raw v1 frames —
+// exactly the bytes an old client emits — and checks every response is
+// what a v1 client expects. The only observable difference is the hello
+// Affected field, which v1 clients never read.
+func TestProtocolOldClientNewServer(t *testing.T) {
+	_, addr := startTestServer(t, Options{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rt := func(req Request) *Response {
+		t.Helper()
+		conn.SetDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+		if err := WriteFrame(conn, EncodeRequest(req)); err != nil {
+			t.Fatal(err)
+		}
+		payload, err := ReadFrame(conn, MaxFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := DecodeResponse(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	if resp := rt(Request{Op: OpHello, SQL: "old-client"}); resp.Tag != TagOK {
+		t.Fatalf("hello tag = %c", resp.Tag)
+	}
+	if resp := rt(Request{Op: OpPing}); resp.Tag != TagPong {
+		t.Fatalf("ping tag = %c", resp.Tag)
+	}
+	resp := rt(Request{Op: OpQuery, SQL: "SELECT v FROM kv WHERE id = 3"})
+	if resp.Tag != TagRows || len(resp.Rows) != 1 || resp.Rows[0][0].Int() != 9 {
+		t.Fatalf("v1 query response = %+v", resp)
+	}
+	if resp := rt(Request{Op: OpQuery, SQL: "UPDATE kv SET v = 5 WHERE id = 3"}); resp.Tag != TagOK {
+		t.Fatalf("v1 DML response = %+v", resp)
+	}
+}
+
+// startV1Server is a faithful v1-only stub: it speaks the original frame
+// set and rejects v2 opcodes with the unknown-opcode error a v1 binary
+// produces, and never sets Affected on hello.
+func startV1Server(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					payload, err := ReadFrame(conn, MaxFrame)
+					if err != nil {
+						return
+					}
+					var resp *Response
+					switch payload[0] {
+					case OpHello:
+						resp = &Response{Tag: TagOK} // v1: Affected never set
+					case OpPing:
+						resp = &Response{Tag: TagPong}
+					case OpQuery:
+						resp = &Response{Tag: TagOK, Affected: 1}
+					default:
+						resp = &Response{Tag: TagError, Code: CodeBadFrame,
+							Msg: "server: unknown opcode"}
+					}
+					if WriteFrame(conn, EncodeResponse(resp)) != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestProtocolNewClientOldServer: a v2 client against a v1 server reads
+// version 0 from hello and silently falls back to v1 frames — traced
+// queries go out as plain Q frames, and the slow-log request fails locally
+// instead of confusing the old peer.
+func TestProtocolNewClientOldServer(t *testing.T) {
+	addr := startV1Server(t)
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Hello("lg-0001"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Version(); got != 0 {
+		t.Fatalf("version against v1 server = %d, want 0", got)
+	}
+	// The trace is dropped, not sent: the v1 stub answers plain Q with
+	// TagOK, and would have answered 'q' with an error.
+	res, err := c.QueryTraced("t-0001-0-1", "SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 1 {
+		t.Fatalf("fallback query result = %+v", res)
+	}
+	if _, err := c.Slow(); err == nil || !strings.Contains(err.Error(), "v2") {
+		t.Fatalf("Slow against v1 server: %v", err)
+	}
+	// A forced v2 frame is rejected by the old server with its ordinary
+	// unknown-opcode error — decoder totality across generations.
+	if _, err := c.query(Request{Op: OpQueryTraced, Trace: "t", SQL: "SELECT 1"}); err == nil {
+		t.Fatal("v1 server accepted a v2 frame")
+	}
+}
+
+// TestServerSlowLogCapture wires a SlowLog into the server and checks
+// capture plus OpSlow retrieval end-to-end: plan shape, operator stats,
+// trace IDs and the slow/sampled split all arrive at the client.
+func TestServerSlowLogCapture(t *testing.T) {
+	slow := obs.NewSlowLog(32, time.Nanosecond, 0) // everything is "slow"
+	reg := obs.NewRegistry()
+	slow.Instrument(reg)
+	_, addr := startTestServer(t, Options{SlowLog: slow, Obs: reg})
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Hello("lg-0001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.QueryTraced("t-0001-0-1", "SELECT v FROM kv WHERE id = 7"); err != nil {
+		t.Fatal(err)
+	}
+	// Parse failures are not executions: they must not reach the log.
+	if _, err := c.Query("SELEKT nope"); err == nil {
+		t.Fatal("parse error expected")
+	}
+	entries, err := c.Slow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("slow entries = %+v", entries)
+	}
+	e := entries[0]
+	if e.Session != "lg-0001" || e.Seq != 1 || e.Trace != "t-0001-0-1" || !e.Slow {
+		t.Fatalf("entry identity = %+v", e)
+	}
+	if e.SQL != "SELECT v FROM kv WHERE id = 7" || len(e.Plan) == 0 {
+		t.Fatalf("entry payload = %+v", e)
+	}
+	if e.RowsRead == 0 || e.RowsSent != 1 || e.LatencySeconds <= 0 {
+		t.Fatalf("entry stats = %+v", e)
+	}
+	if got := reg.Snapshot().Counters["slowlog.slow"]; got != 1 {
+		t.Fatalf("slowlog.slow = %d", got)
+	}
+}
+
+// TestTunerJournalsWindowEvents: a tuning cycle over a sealed live window
+// writes one EventWindow record (before the cycle's decision records)
+// mapping normalized queries to the trace IDs / session#seq of the live
+// statements, in canonical window order.
+func TestTunerJournalsWindowEvents(t *testing.T) {
+	var sb strings.Builder
+	jrn := audit.New(&sb)
+	s, addr := startTestServer(t, Options{})
+	s.DB().SetAudit(jrn)
+	defer s.DB().SetAudit(nil)
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Hello("lg-0001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.QueryTraced("t-0001-0-1", "SELECT v FROM kv WHERE id = 5"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.QueryTraced("t-0001-0-2", "SELECT v FROM kv WHERE id = 6"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("SELECT v FROM kv WHERE id = 7"); err != nil { // untraced
+		t.Fatal(err)
+	}
+	if _, err := c.Tune(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := audit.ReadRecords(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var win *audit.Record
+	for _, r := range recs {
+		if r.Event == audit.EventWindow {
+			win = r
+			break
+		}
+	}
+	if win == nil {
+		t.Fatalf("no window record in journal:\n%s", sb.String())
+	}
+	if win.Seq != 1 {
+		t.Errorf("window record not first: seq=%d", win.Seq)
+	}
+	if len(win.Queries) != 1 {
+		t.Fatalf("window queries = %+v", win.Queries)
+	}
+	q := win.Queries[0]
+	if q.Count != 3 || len(q.Statements) != 3 {
+		t.Fatalf("window query = %+v", q)
+	}
+	want := []string{"t-0001-0-1", "t-0001-0-2", "lg-0001#3"}
+	for i := range want {
+		if q.Statements[i] != want[i] {
+			t.Fatalf("statements = %v, want %v", q.Statements, want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,10 +48,16 @@ type Options struct {
 	DrainTimeout time.Duration
 	// Obs receives the server metrics (server.connections_open,
 	// server.frames, server.window_statements, server.windows_sealed,
-	// server.tune_cycles, server.drain_seconds). Nil = metrics off.
+	// server.tune_cycles, server.drain_seconds) and, when set, a
+	// "server/stmt" span per executed statement annotated with (session,
+	// seq, trace). Nil = metrics off.
 	Obs *obs.Registry
 	// OnReport forwards every shadow verdict (telemetry SetShadowReport).
 	OnReport func(*shadow.Report)
+	// SlowLog, when set, captures executed statements (over-threshold plus
+	// 1-in-N samples) with plan shape and operator stats. Served by OpSlow
+	// and /slowz. Nil = capture off, zero per-statement cost.
+	SlowLog *obs.SlowLog
 }
 
 // Server is the aimd daemon core: a TCP listener, per-connection sessions,
@@ -289,7 +296,10 @@ func (s *Server) serve(conn net.Conn) {
 			if req.SQL != "" {
 				session = req.SQL
 			}
-			resp = &Response{Tag: TagOK}
+			// Affected advertises the server's protocol version (see
+			// ProtoVersion). v1 clients never read it; v2 clients use it to
+			// decide whether OpQueryTraced/OpSlow are safe to send.
+			resp = &Response{Tag: TagOK, Affected: ProtoVersion}
 		case OpPing:
 			resp = &Response{Tag: TagPong}
 		case OpTune:
@@ -299,12 +309,14 @@ func (s *Server) serve(conn net.Conn) {
 			} else {
 				resp = &Response{Tag: TagVerdict, Verdict: line}
 			}
-		case OpQuery:
+		case OpSlow:
+			resp = &Response{Tag: TagSlow, Slow: s.opts.SlowLog.Snapshot()}
+		case OpQuery, OpQueryTraced:
 			if s.draining.Load() {
 				resp = &Response{Tag: TagError, Code: CodeDraining, Msg: "server draining"}
 			} else {
 				stmtSeq++
-				resp = s.execStatement(session, stmtSeq, req.SQL)
+				resp = s.execStatement(session, stmtSeq, req.Trace, req.SQL)
 			}
 		}
 		if !s.respond(conn, writeTO, resp) {
@@ -324,13 +336,29 @@ func (s *Server) respond(conn net.Conn, writeTO time.Duration, resp *Response) b
 
 // execStatement parses, classifies and executes one statement under the
 // statement gate (SELECTs share the read side; DML and DDL serialize on the
-// write side), then feeds the collector. Failed statements produce a typed
-// error and are not observed — the monitor sees only executions that
-// contributed load, matching the batch loop's semantics.
-func (s *Server) execStatement(session string, seq uint64, sql string) *Response {
+// write side), then feeds the collector, the per-statement span, and the
+// slow-query log. Failed statements produce a typed error and are not
+// observed — the monitor sees only executions that contributed load,
+// matching the batch loop's semantics.
+func (s *Server) execStatement(session string, seq uint64, trace, sql string) *Response {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return &Response{Tag: TagError, Code: CodeParse, Msg: err.Error()}
+	}
+	// The latency clock starts before the gate: lock waits are part of what
+	// the client experienced, so they belong in the slow log. Only read the
+	// clock when something will consume it — recorder off stays zero-cost.
+	slow := s.opts.SlowLog
+	sp := s.opts.Obs.StartSpan("server/stmt")
+	var start time.Time
+	if slow != nil || sp != nil {
+		start = time.Now()
+	}
+	if sp != nil {
+		sp.Annotate("session", session).Annotate("seq", strconv.FormatUint(seq, 10))
+		if trace != "" {
+			sp.Annotate("trace", trace)
+		}
 	}
 	_, isSelect := stmt.(*sqlparser.Select)
 	if isSelect {
@@ -344,10 +372,28 @@ func (s *Server) execStatement(session string, seq uint64, sql string) *Response
 	} else {
 		s.exec.Unlock()
 	}
+	sp.End()
 	if err != nil {
 		return &Response{Tag: TagError, Code: CodeExec, Msg: err.Error()}
 	}
-	if w := s.collector.Observe(Record{Session: session, Seq: seq, SQL: sql, Stats: res.Stats}); w != nil {
+	if slow != nil {
+		slow.Observe(obs.SlowEntry{
+			TSUS:        start.UnixMicro(),
+			Session:     session,
+			Seq:         seq,
+			Trace:       trace,
+			SQL:         sql,
+			Plan:        res.PlanDesc,
+			RowsRead:    res.Stats.RowsRead,
+			RowsSent:    res.Stats.RowsSent,
+			PageReads:   res.Stats.PageReads,
+			SortRows:    res.Stats.SortRows,
+			RowsWritten: res.Stats.RowsWritten,
+			IndexWrites: res.Stats.IndexWrites,
+			CPUSeconds:  res.Stats.CPUSeconds(),
+		}, time.Since(start))
+	}
+	if w := s.collector.Observe(Record{Session: session, Seq: seq, Trace: trace, SQL: sql, Stats: res.Stats}); w != nil {
 		select {
 		case s.windows <- w:
 		default:

@@ -5,12 +5,14 @@ import (
 	"strings"
 	"sync"
 
+	"aim/internal/audit"
 	"aim/internal/catalog"
 	"aim/internal/core"
 	"aim/internal/engine"
 	"aim/internal/obs"
 	"aim/internal/regression"
 	"aim/internal/shadow"
+	"aim/internal/sqlparser"
 	"aim/internal/workload"
 )
 
@@ -62,17 +64,44 @@ func (t *Tuner) Instrument(r *obs.Registry) {
 // CycleWindow builds the window's monitor from a sealed (sorted) record
 // slice and runs one tuning cycle. Statements are fed to the monitor in the
 // canonical window order, so the resulting recommendation is byte-identical
-// to an offline replay of the same stream.
+// to an offline replay of the same stream. When the serving database has an
+// audit journal attached, the window itself is journaled first (one
+// EventWindow record mapping normalized queries to live statement IDs), so
+// every decision record of the cycle can be traced back to the statements
+// that drove it.
 func (t *Tuner) CycleWindow(w []Record) (string, error) {
 	mon := workload.NewMonitor()
-	for _, rec := range w {
+	var queries []audit.WindowQuery
+	index := map[string]int{} // normalized query -> queries slot
+	for i := range w {
+		rec := &w[i]
 		// A statement that executed successfully always re-parses; a failure
 		// here means the collector was fed garbage.
-		if err := mon.Record(rec.SQL, rec.Stats); err != nil {
+		stmt, err := sqlparser.Parse(rec.SQL)
+		if err != nil {
 			return "", fmt.Errorf("server: window record: %v", err)
 		}
+		if err := mon.RecordStmt(stmt, rec.Stats); err != nil {
+			return "", fmt.Errorf("server: window record: %v", err)
+		}
+		norm, _ := sqlparser.Normalize(stmt)
+		slot, ok := index[norm]
+		if !ok {
+			slot = len(queries)
+			index[norm] = slot
+			queries = append(queries, audit.WindowQuery{Query: norm})
+		}
+		q := &queries[slot]
+		q.Count++
+		if len(q.Statements) < audit.MaxWindowStatements {
+			id := rec.Trace
+			if id == "" {
+				id = fmt.Sprintf("%s#%d", rec.Session, rec.Seq)
+			}
+			q.Statements = append(q.Statements, id)
+		}
 	}
-	return t.Cycle(mon)
+	return t.cycle(mon, queries)
 }
 
 // Cycle runs one tuning cycle over an observed window and returns a short
@@ -80,12 +109,27 @@ func (t *Tuner) CycleWindow(w []Record) (string, error) {
 // violations (an ungated adoption); operational failures degrade to "no
 // change this cycle" exactly like the batch loop.
 func (t *Tuner) Cycle(mon *workload.Monitor) (string, error) {
+	return t.cycle(mon, nil)
+}
+
+// cycle is the locked cycle body. windowQueries, when non-nil, is journaled
+// as an EventWindow record before any decision record of this cycle — under
+// the cycle lock, so the journal's window → candidate → shadow → adopt
+// ordering is deterministic.
+func (t *Tuner) cycle(mon *workload.Monitor, windowQueries []audit.WindowQuery) (string, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	cycle := t.Cycles
 	t.Cycles++
 	if t.tuneCycles != nil {
 		t.tuneCycles.Inc()
+	}
+	if len(windowQueries) > 0 {
+		t.DB.AuditJournal().Append(&audit.Record{
+			Event:   audit.EventWindow,
+			Cycle:   int64(cycle),
+			Queries: windowQueries,
+		})
 	}
 
 	t.rlock()

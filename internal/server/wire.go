@@ -19,11 +19,13 @@ package server
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 
+	"aim/internal/obs"
 	"aim/internal/sqltypes"
 )
 
@@ -31,6 +33,27 @@ import (
 // realistic statement or result page, small enough that a corrupt length
 // prefix cannot make the reader allocate gigabytes.
 const MaxFrame = 1 << 20
+
+// ProtoVersion is the protocol this build speaks. Version history:
+//
+//	1 — the original frame set (H/Q/T/P).
+//	2 — adds OpQueryTraced ('q', a Q frame carrying a client trace ID) and
+//	    OpSlow/TagSlow (slow-query log retrieval).
+//
+// Negotiation is server-advertised: the OpHello response's Affected field
+// carries the server's ProtoVersion. A v1 server never sets Affected (the
+// field decodes as 0), so a new client talking to an old server reads 0 and
+// stays on the v1 frame set; an old client never reads Affected at all, so
+// a new server's advertisement is invisible to it. Frames themselves are
+// unversioned — a v2 frame is just a new opcode a v1 peer would reject with
+// its ordinary unknown-opcode error.
+const ProtoVersion = 2
+
+// MaxTraceID caps the client-supplied trace ID carried by OpQueryTraced.
+// Trace IDs are identifiers, not payloads; the cap keeps a hostile client
+// from using the trace field as a memory amplifier in the slow log and the
+// audit journal.
+const MaxTraceID = 128
 
 // Request opcodes.
 const (
@@ -45,6 +68,14 @@ const (
 	OpTune = byte('T')
 	// OpPing is a liveness round-trip (empty body).
 	OpPing = byte('P')
+	// OpQueryTraced (v2) executes one SQL statement with a client-supplied
+	// trace ID (body: u16 trace length | trace bytes | SQL text). Identical
+	// to OpQuery in every other respect; a client that negotiated v1 must
+	// send OpQuery instead.
+	OpQueryTraced = byte('q')
+	// OpSlow (v2) requests the server's slow-query log (empty body). The
+	// response is TagSlow.
+	OpSlow = byte('S')
 )
 
 // Response tags.
@@ -59,6 +90,9 @@ const (
 	TagVerdict = byte('V')
 	// TagPong answers OpPing.
 	TagPong = byte('O')
+	// TagSlow (v2) answers OpSlow with the slow-query log as a JSON array
+	// of obs.SlowEntry.
+	TagSlow = byte('L')
 )
 
 // Wire error codes carried by TagError responses.
@@ -135,12 +169,23 @@ func truncated(err error) error {
 // Request is one decoded client frame.
 type Request struct {
 	Op byte
-	// SQL is the statement text (OpQuery) or the session label (OpHello).
+	// SQL is the statement text (OpQuery, OpQueryTraced) or the session
+	// label (OpHello).
 	SQL string
+	// Trace is the client-supplied trace ID (OpQueryTraced only; "" on every
+	// v1 opcode).
+	Trace string
 }
 
 // EncodeRequest renders a request payload (opcode + body).
 func EncodeRequest(req Request) []byte {
+	if req.Op == OpQueryTraced {
+		out := make([]byte, 0, 3+len(req.Trace)+len(req.SQL))
+		out = append(out, OpQueryTraced)
+		out = binary.BigEndian.AppendUint16(out, uint16(len(req.Trace)))
+		out = append(out, req.Trace...)
+		return append(out, req.SQL...)
+	}
 	out := make([]byte, 0, 1+len(req.SQL))
 	out = append(out, req.Op)
 	return append(out, req.SQL...)
@@ -151,12 +196,28 @@ func DecodeRequest(p []byte) (Request, error) {
 	if len(p) == 0 {
 		return Request{}, ErrZeroFrame
 	}
-	req := Request{Op: p[0], SQL: string(p[1:])}
-	switch req.Op {
+	switch p[0] {
 	case OpHello, OpQuery, OpTune, OpPing:
-		return req, nil
+		return Request{Op: p[0], SQL: string(p[1:])}, nil
+	case OpQueryTraced:
+		n, rest, err := takeUint16(p[1:])
+		if err != nil {
+			return Request{}, err
+		}
+		if n > MaxTraceID {
+			return Request{}, fmt.Errorf("server: trace ID length %d exceeds %d", n, MaxTraceID)
+		}
+		if int(n) > len(rest) {
+			return Request{}, fmt.Errorf("server: trace ID length %d exceeds payload", n)
+		}
+		return Request{Op: OpQueryTraced, Trace: string(rest[:n]), SQL: string(rest[n:])}, nil
+	case OpSlow:
+		if len(p) != 1 {
+			return Request{}, fmt.Errorf("server: slow request carries no body")
+		}
+		return Request{Op: OpSlow}, nil
 	default:
-		return Request{}, fmt.Errorf("server: unknown opcode 0x%02x", req.Op)
+		return Request{}, fmt.Errorf("server: unknown opcode 0x%02x", p[0])
 	}
 }
 
@@ -171,6 +232,8 @@ type Response struct {
 	Code    uint16
 	Msg     string
 	Verdict string
+	// Slow carries the slow-query log (TagSlow).
+	Slow []obs.SlowEntry
 }
 
 // Err converts a TagError response into a Go error (nil for other tags).
@@ -211,6 +274,19 @@ func EncodeResponse(resp *Response) []byte {
 		return append([]byte{TagVerdict}, resp.Verdict...)
 	case TagPong:
 		return []byte{TagPong}
+	case TagSlow:
+		// Slow-log entries are an ops payload, not a hot path: JSON keeps the
+		// frame self-describing and lets aimctl render it without a second
+		// schema. A nil log encodes as an empty array.
+		entries := resp.Slow
+		if entries == nil {
+			entries = []obs.SlowEntry{}
+		}
+		body, err := json.Marshal(entries)
+		if err != nil {
+			return append([]byte{TagError}, fmt.Sprintf("\x00\x02slow encode: %v", err)...)
+		}
+		return append([]byte{TagSlow}, body...)
 	default:
 		return append([]byte{TagError}, fmt.Sprintf("\x00\x00bad tag %d", resp.Tag)...)
 	}
@@ -295,6 +371,13 @@ func DecodeResponse(p []byte) (*Response, error) {
 		if len(body) != 0 {
 			return nil, fmt.Errorf("server: pong carries no body")
 		}
+		return resp, nil
+	case TagSlow:
+		entries := []obs.SlowEntry{}
+		if err := json.Unmarshal(body, &entries); err != nil {
+			return nil, fmt.Errorf("server: slow body: %v", err)
+		}
+		resp.Slow = entries
 		return resp, nil
 	default:
 		return nil, fmt.Errorf("server: unknown response tag 0x%02x", resp.Tag)

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"aim/internal/obs"
 	"aim/internal/sqltypes"
 )
 
@@ -92,6 +93,10 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpQuery, SQL: "SELECT id FROM events WHERE user_id = 7"},
 		{Op: OpTune},
 		{Op: OpPing},
+		{Op: OpQueryTraced, Trace: "t-0001-2-7", SQL: "SELECT id FROM events WHERE user_id = 7"},
+		{Op: OpQueryTraced, Trace: "", SQL: "SELECT 1"}, // trace field present but empty
+		{Op: OpQueryTraced, Trace: strings.Repeat("x", MaxTraceID), SQL: "SELECT 1"},
+		{Op: OpSlow},
 	} {
 		got, err := DecodeRequest(EncodeRequest(req))
 		if err != nil {
@@ -106,6 +111,27 @@ func TestRequestRoundTrip(t *testing.T) {
 	}
 	if _, err := DecodeRequest(nil); err != ErrZeroFrame {
 		t.Fatalf("empty request: got %v, want ErrZeroFrame", err)
+	}
+}
+
+// TestDecodeRequestTracedCorrupt feeds malformed v2 query frames: a cut
+// length prefix, a trace claiming more bytes than the payload holds, and a
+// trace over the MaxTraceID cap must all yield errors, never a panic.
+func TestDecodeRequestTracedCorrupt(t *testing.T) {
+	over := []byte{OpQueryTraced}
+	over = binary.BigEndian.AppendUint16(over, MaxTraceID+1)
+	over = append(over, bytes.Repeat([]byte("t"), MaxTraceID+1)...)
+	cases := map[string][]byte{
+		"cut length":     {OpQueryTraced, 0},
+		"no length":      {OpQueryTraced},
+		"trace overrun":  append(binary.BigEndian.AppendUint16([]byte{OpQueryTraced}, 40), 't', 'r'),
+		"trace over cap": over,
+		"slow with body": {OpSlow, 'x'},
+	}
+	for name, p := range cases {
+		if _, err := DecodeRequest(p); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
 	}
 }
 
@@ -173,6 +199,44 @@ func TestResponseRoundTripScalars(t *testing.T) {
 	}
 }
 
+// TestResponseRoundTripSlow pins the TagSlow carrier: entries survive the
+// JSON body, an empty log round-trips as an empty (non-nil) slice, and a
+// corrupt body errors.
+func TestResponseRoundTripSlow(t *testing.T) {
+	want := &Response{Tag: TagSlow, Slow: []obs.SlowEntry{
+		{Session: "lg-0001", Seq: 3, Trace: "t-0001-0-3", SQL: "SELECT 1",
+			Plan: []string{"Scan(kv)"}, RowsRead: 200, LatencySeconds: 0.012, Slow: true},
+		{Session: "lg-0002", Seq: 9, SQL: "UPDATE kv SET v = 1 WHERE id = 2", LatencySeconds: 0.0001},
+	}}
+	got, err := DecodeResponse(EncodeResponse(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Slow) != 2 {
+		t.Fatalf("slow round trip changed %+v into %+v", want.Slow, got.Slow)
+	}
+	e := got.Slow[0]
+	if e.Session != "lg-0001" || e.Seq != 3 || e.Trace != "t-0001-0-3" || e.SQL != "SELECT 1" ||
+		len(e.Plan) != 1 || e.Plan[0] != "Scan(kv)" || e.RowsRead != 200 ||
+		e.LatencySeconds != 0.012 || !e.Slow {
+		t.Fatalf("slow fields lost: %+v", e)
+	}
+	if got.Slow[1].Trace != "" || got.Slow[1].Slow {
+		t.Fatalf("slow fields invented: %+v", got.Slow[1])
+	}
+
+	empty, err := DecodeResponse(EncodeResponse(&Response{Tag: TagSlow}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Slow == nil || len(empty.Slow) != 0 {
+		t.Fatalf("empty slow log = %+v", empty.Slow)
+	}
+	if _, err := DecodeResponse([]byte{TagSlow, '{', 'x'}); err == nil {
+		t.Fatal("corrupt slow body decoded without error")
+	}
+}
+
 // TestDecodeResponseCorrupt feeds structurally invalid response payloads;
 // every one must produce an error, never a panic or a giant allocation.
 func TestDecodeResponseCorrupt(t *testing.T) {
@@ -213,6 +277,26 @@ func FuzzWireFrame(f *testing.F) {
 	var seed bytes.Buffer
 	WriteFrame(&seed, EncodeRequest(Request{Op: OpQuery, SQL: "SELECT 1"})) //nolint:errcheck
 	f.Add(seed.Bytes())
+	// v2 frames: a traced query (trace present), a traced query with the
+	// trace field empty, and a truncated traced frame (length prefix claims
+	// more trace bytes than the payload holds).
+	var traced bytes.Buffer
+	WriteFrame(&traced, EncodeRequest(Request{Op: OpQueryTraced, Trace: "t-0001-0-1", SQL: "SELECT 1"})) //nolint:errcheck
+	f.Add(traced.Bytes())
+	var untraced bytes.Buffer
+	WriteFrame(&untraced, EncodeRequest(Request{Op: OpQueryTraced, SQL: "SELECT 1"})) //nolint:errcheck
+	f.Add(untraced.Bytes())
+	var cut bytes.Buffer
+	WriteFrame(&cut, append(binary.BigEndian.AppendUint16([]byte{OpQueryTraced}, 200), 'x')) //nolint:errcheck
+	f.Add(cut.Bytes())
+	var slowReq bytes.Buffer
+	WriteFrame(&slowReq, EncodeRequest(Request{Op: OpSlow})) //nolint:errcheck
+	f.Add(slowReq.Bytes())
+	var slowResp bytes.Buffer
+	WriteFrame(&slowResp, EncodeResponse(&Response{Tag: TagSlow, Slow: []obs.SlowEntry{ //nolint:errcheck
+		{Session: "s", Seq: 1, Trace: "t", SQL: "SELECT 1", Slow: true},
+	}}))
+	f.Add(slowResp.Bytes())
 	var rows bytes.Buffer
 	WriteFrame(&rows, EncodeResponse(&Response{ //nolint:errcheck
 		Tag:     TagRows,

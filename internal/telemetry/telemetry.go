@@ -5,7 +5,11 @@
 //	/statusz       JSON snapshot of tuning state: current index set, last
 //	               shadow verdict with per-query outcomes, regression
 //	               baselines with age, armed failpoints, cost-cache
-//	               occupancy, audit journal position
+//	               occupancy, audit journal position, sealed-window
+//	               high-water marks
+//	/slowz         JSON dump of the slow-query log ring (oldest first)
+//	/timeseriesz   JSON ring of periodic registry samples (rates, gauges,
+//	               histogram quantiles) for dashboards and soak artifacts
 //	/healthz       liveness probe
 //	/debug/pprof/  the standard Go profiling endpoints
 //
@@ -47,6 +51,10 @@ type Options struct {
 	Detector *regression.Detector
 	// Audit provides the journal position (records written so far).
 	Audit *audit.Journal
+	// Slow backs /slowz. Nil serves an empty list.
+	Slow *obs.SlowLog
+	// TimeSeries backs /timeseriesz. Nil serves an empty payload.
+	TimeSeries *obs.TimeSeries
 }
 
 // Server is the telemetry endpoint. Construct with New, then either mount
@@ -82,6 +90,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metricsz", s.handleMetrics)
 	mux.HandleFunc("/statusz", s.handleStatus)
+	mux.HandleFunc("/slowz", s.handleSlow)
+	mux.HandleFunc("/timeseriesz", s.handleTimeSeries)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -130,6 +140,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	WritePrometheus(w, s.opts.Registry.Snapshot())
 }
 
+// handleSlow dumps the slow-query ring oldest-first. The shape mirrors the
+// OpSlow wire response, so `aimctl remote -slow` and /slowz render the same
+// bytes for the same ring state.
+func (s *Server) handleSlow(w http.ResponseWriter, _ *http.Request) {
+	entries := s.opts.Slow.Snapshot()
+	if entries == nil {
+		entries = []obs.SlowEntry{}
+	}
+	payload := struct {
+		ThresholdSeconds float64         `json:"threshold_seconds"`
+		SampleN          int             `json:"sample_n"`
+		Entries          []obs.SlowEntry `json:"entries"`
+	}{
+		ThresholdSeconds: s.opts.Slow.Threshold().Seconds(),
+		SampleN:          s.opts.Slow.SampleN(),
+		Entries:          entries,
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(&payload) //nolint:errcheck // best-effort response write
+}
+
+// handleTimeSeries writes the sample ring. MarshalJSON is called explicitly so
+// a nil recorder still yields the empty {capacity:0, samples:[]} payload
+// instead of JSON null.
+func (s *Server) handleTimeSeries(w http.ResponseWriter, _ *http.Request) {
+	b, err := s.opts.TimeSeries.MarshalJSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(b) //nolint:errcheck // best-effort response write
+}
+
 // The /statusz JSON shape. Field order is fixed by the struct; slices are
 // emitted sorted by their sources.
 type statusIndex struct {
@@ -165,7 +211,13 @@ type statusCostCache struct {
 }
 
 type statusPayload struct {
-	UptimeSeconds float64                `json:"uptime_seconds"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// WindowsSealed/WindowDropped mirror the server.windows_sealed and
+	// server.window_dropped registry counters — the sealed-window high-water
+	// mark that makes soak artifacts self-describing. Zero when the process
+	// serves no live traffic (offline replay, aimbench).
+	WindowsSealed int64                  `json:"windows_sealed"`
+	WindowDropped int64                  `json:"window_dropped"`
 	Indexes       []statusIndex          `json:"indexes"`
 	Shadow        *statusShadow          `json:"shadow"`
 	Baselines     []regression.Baseline  `json:"regression_baselines"`
@@ -184,6 +236,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	}
 	if p.Failpoints == nil {
 		p.Failpoints = []failpoint.SiteStatus{}
+	}
+	if reg := s.opts.Registry; reg != nil {
+		snap := reg.Snapshot()
+		p.WindowsSealed = snap.Counters["server.windows_sealed"]
+		p.WindowDropped = snap.Counters["server.window_dropped"]
 	}
 	if db := s.opts.DB; db != nil {
 		for _, ix := range db.Schema.Indexes() {

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"aim/internal/audit"
 	"aim/internal/core"
@@ -163,6 +164,8 @@ func TestEndpoints(t *testing.T) {
 	reg := obs.NewRegistry()
 	db.SetObs(reg)
 	reg.Counter("exec.statements").Inc()
+	reg.Counter("server.windows_sealed").Add(4)
+	reg.Counter("server.window_dropped").Add(1)
 
 	var jb strings.Builder
 	jrn := audit.New(&jb)
@@ -208,7 +211,10 @@ func TestEndpoints(t *testing.T) {
 		t.Fatalf("/statusz = %d", code)
 	}
 	var status struct {
-		Indexes []struct {
+		UptimeSeconds json.Number `json:"uptime_seconds"`
+		WindowsSealed int64       `json:"windows_sealed"`
+		WindowDropped int64       `json:"window_dropped"`
+		Indexes       []struct {
 			Name string `json:"name"`
 		} `json:"indexes"`
 		Shadow struct {
@@ -224,6 +230,14 @@ func TestEndpoints(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &status); err != nil {
 		t.Fatalf("/statusz not JSON: %v\n%s", err, body)
 	}
+	// uptime_seconds must decode as a JSON number, not a duration string.
+	if up, err := status.UptimeSeconds.Float64(); err != nil || up < 0 {
+		t.Errorf("/statusz uptime_seconds = %q (%v)", status.UptimeSeconds, err)
+	}
+	if status.WindowsSealed != 4 || status.WindowDropped != 1 {
+		t.Errorf("/statusz windows sealed=%d dropped=%d, want 4/1",
+			status.WindowsSealed, status.WindowDropped)
+	}
 	if len(status.Indexes) == 0 {
 		t.Error("/statusz missing index set")
 	}
@@ -235,6 +249,93 @@ func TestEndpoints(t *testing.T) {
 	}
 	if status.CostCache == nil || status.AuditRecords != 1 {
 		t.Errorf("/statusz costcache=%v audit_records=%d", status.CostCache, status.AuditRecords)
+	}
+}
+
+// TestFlightRecorderEndpoints covers /slowz and /timeseriesz: populated
+// sources render their rings, nil sources render empty-but-valid payloads so
+// dashboards never see JSON null.
+func TestFlightRecorderEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("server.frames").Add(10)
+	slow := obs.NewSlowLog(8, 5*time.Millisecond, 100)
+	slow.Observe(obs.SlowEntry{Session: "lg-0001", Seq: 3, Trace: "t-0001-0-3",
+		SQL: "SELECT 1", Plan: []string{"Project", "Scan kv"}}, 7*time.Millisecond)
+	ts0 := time.Unix(1000, 0)
+	series := obs.NewTimeSeries(reg, 16)
+	series.Tick(ts0)
+	reg.Counter("server.frames").Add(40)
+	series.Tick(ts0.Add(2 * time.Second))
+
+	srv := telemetry.New(telemetry.Options{Registry: reg, Slow: slow, TimeSeries: series})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s = %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s content-type = %q", path, ct)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	var slowPayload struct {
+		ThresholdSeconds float64         `json:"threshold_seconds"`
+		SampleN          int             `json:"sample_n"`
+		Entries          []obs.SlowEntry `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(get("/slowz")), &slowPayload); err != nil {
+		t.Fatalf("/slowz not JSON: %v", err)
+	}
+	if slowPayload.ThresholdSeconds != 0.005 || slowPayload.SampleN != 100 {
+		t.Errorf("/slowz config = %+v", slowPayload)
+	}
+	if len(slowPayload.Entries) != 1 || slowPayload.Entries[0].Trace != "t-0001-0-3" ||
+		!slowPayload.Entries[0].Slow || len(slowPayload.Entries[0].Plan) != 2 {
+		t.Errorf("/slowz entries = %+v", slowPayload.Entries)
+	}
+
+	var tsPayload struct {
+		Capacity int `json:"capacity"`
+		Samples  []struct {
+			Rates map[string]float64 `json:"rates,omitempty"`
+		} `json:"samples"`
+	}
+	if err := json.Unmarshal([]byte(get("/timeseriesz")), &tsPayload); err != nil {
+		t.Fatalf("/timeseriesz not JSON: %v", err)
+	}
+	if tsPayload.Capacity != 16 || len(tsPayload.Samples) != 2 {
+		t.Fatalf("/timeseriesz shape = %+v", tsPayload)
+	}
+	if got := tsPayload.Samples[1].Rates["server.frames"]; got != 20 {
+		t.Errorf("/timeseriesz frame rate = %v, want 20", got)
+	}
+
+	// Recorder off: both endpoints stay valid JSON with empty collections.
+	off := telemetry.New(telemetry.Options{})
+	hsOff := httptest.NewServer(off.Handler())
+	defer hsOff.Close()
+	for path, needle := range map[string]string{
+		"/slowz":       `"entries": []`,
+		"/timeseriesz": `"samples":[]`,
+	} {
+		resp, err := http.Get(hsOff.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || !strings.Contains(string(body), needle) {
+			t.Errorf("disabled %s = %d %q", path, resp.StatusCode, body)
+		}
 	}
 }
 
